@@ -1,0 +1,22 @@
+"""Shared helpers for the paper-reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the evaluation
+(`DESIGN.md` section 4).  Besides the pytest-benchmark timing, each bench
+writes its paper-style rows to ``benchmarks/results/<name>.txt`` and
+echoes them to stdout, so ``EXPERIMENTS.md`` can quote them directly.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def record_result(name: str, text: str) -> str:
+    """Persist *text* under results/ and print it; returns the text."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[written to {path}]")
+    return text

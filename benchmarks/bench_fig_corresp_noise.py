@@ -1,0 +1,32 @@
+"""Figure: data F1 vs correspondence noise (piCorresp).
+
+Paper shape: extra random correspondences inflate the candidate set with
+plausible-but-wrong mappings.  The *all-candidates* baseline loses
+precision roughly linearly; the collective selector stays near the gold
+mapping because wrong candidates create errors and size without adding
+coverage.
+"""
+
+from benchmarks._common import record_result
+from benchmarks.sweeps import column, noise_sweep
+
+from repro.evaluation.reporting import mean
+
+
+def test_fig_quality_vs_corresp_noise(benchmark):
+    rows, table = benchmark.pedantic(
+        lambda: noise_sweep("pi_corresp"), rounds=1, iterations=1
+    )
+    record_result("fig_corresp_noise", table)
+
+    collective = column(rows, "collective")
+    all_candidates = column(rows, "all-candidates")
+    gold = column(rows, "gold")
+
+    # Shape assertions (who wins, where): the paper's qualitative claims.
+    assert all(g == 1.0 for g in gold)
+    assert mean(collective) >= mean(all_candidates)
+    # At the highest noise level the gap must be clear.
+    assert collective[-1] > all_candidates[-1]
+    # The collective selector stays within 15% of gold on average.
+    assert mean(collective) >= 0.85

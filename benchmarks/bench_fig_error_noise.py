@@ -1,0 +1,30 @@
+"""Figure: data F1 vs error noise (piErrors).
+
+Deleting non-certain error tuples from J makes the gold tgds look
+error-prone.  All methods degrade with the noise level; the collective
+selector should track the best achievable trade-off and dominate the
+naive all-candidates baseline throughout.
+"""
+
+from benchmarks._common import record_result
+from benchmarks.sweeps import column, noise_sweep
+
+from repro.evaluation.reporting import mean
+
+
+def test_fig_quality_vs_error_noise(benchmark):
+    rows, table = benchmark.pedantic(
+        lambda: noise_sweep("pi_errors"), rounds=1, iterations=1
+    )
+    record_result("fig_error_noise", table)
+
+    collective = column(rows, "collective")
+    greedy = column(rows, "greedy")
+
+    # Quality under zero noise is near-gold.
+    assert collective[0] >= 0.85
+    # Degradation is monotone-ish: the clean level is the best level.
+    assert collective[0] >= max(collective) - 1e-9
+    # The collective selector is never much worse than greedy anywhere.
+    assert all(c >= g - 0.05 for c, g in zip(collective, greedy))
+    assert mean(collective) >= 0.5

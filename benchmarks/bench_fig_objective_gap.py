@@ -1,0 +1,62 @@
+"""Figure: relaxation quality — collective objective vs the exact optimum.
+
+On scenarios small enough for branch-and-bound, measure the relative gap
+F(collective) / F(exact).  Paper shape: rounding the PSL MAP state
+recovers (near-)optimal selections; the gap should be a few percent at
+most, while greedy can stray further.
+"""
+
+from benchmarks._common import record_result
+
+from repro.evaluation.reporting import format_table, mean
+from repro.ibench.config import ScenarioConfig
+from repro.ibench.generator import generate_scenario
+from repro.selection.collective import solve_collective
+from repro.selection.exact import solve_branch_and_bound
+from repro.selection.greedy import solve_greedy
+
+SEEDS = (1, 2, 3, 4, 5)
+
+
+def _gap_rows():
+    rows = []
+    for seed in SEEDS:
+        scenario = generate_scenario(
+            ScenarioConfig(
+                num_primitives=3, rows_per_relation=8, pi_corresp=50,
+                pi_errors=10, pi_unexplained=10, seed=seed,
+            )
+        )
+        problem = scenario.selection_problem()
+        exact = solve_branch_and_bound(problem)
+        collective = solve_collective(problem)
+        greedy = solve_greedy(problem)
+        assert exact.objective > 0
+        rows.append(
+            [
+                seed,
+                float(exact.objective),
+                float(collective.objective),
+                float(greedy.objective),
+                float(collective.objective / exact.objective),
+                float(greedy.objective / exact.objective),
+            ]
+        )
+    return rows
+
+
+def test_fig_objective_gap(benchmark):
+    rows = benchmark.pedantic(_gap_rows, rounds=1, iterations=1)
+    record_result(
+        "fig_objective_gap",
+        format_table(
+            ["seed", "F(exact)", "F(collective)", "F(greedy)", "coll/exact", "greedy/exact"],
+            rows,
+            title="Objective optimality gap on small scenarios",
+        ),
+    )
+    collective_ratios = [row[4] for row in rows]
+    greedy_ratios = [row[5] for row in rows]
+    assert all(r >= 1.0 - 1e-9 for r in collective_ratios)  # exact is a lower bound
+    assert mean(collective_ratios) <= 1.05  # within 5% of optimal on average
+    assert mean(collective_ratios) <= mean(greedy_ratios) + 1e-9

@@ -1,0 +1,20 @@
+"""Pytest fixtures shared by the benchmarks."""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def scenario_cache():
+    """Memoizes generated scenarios across benches within one session."""
+    from repro.ibench.generator import generate_scenario
+
+    cache: dict = {}
+
+    def get(config):
+        if config not in cache:
+            cache[config] = generate_scenario(config)
+        return cache[config]
+
+    return get

@@ -1,0 +1,51 @@
+"""Shared sweep machinery for the quality-vs-noise figures."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.evaluation.harness import run_methods
+from repro.evaluation.reporting import format_table, mean, series_block
+from repro.ibench.config import ScenarioConfig
+from repro.ibench.generator import generate_scenario
+
+METHOD_COLUMNS = ("collective", "greedy", "all-candidates", "gold")
+LEVELS = (0, 25, 50, 75, 100)
+SEEDS = (1, 2)
+
+BASE_CONFIG = ScenarioConfig(num_primitives=4, rows_per_relation=12)
+
+
+def noise_sweep(noise_parameter: str, base: ScenarioConfig = BASE_CONFIG):
+    """Mean data-level F1 per method, per noise level.
+
+    Returns (rows, table_text); rows are [level, f1...] in METHOD_COLUMNS
+    order.
+    """
+    rows = []
+    for level in LEVELS:
+        per_method: dict[str, list[float]] = {m: [] for m in METHOD_COLUMNS}
+        for seed in SEEDS:
+            config = replace(base, seed=seed, **{noise_parameter: float(level)})
+            scenario = generate_scenario(config)
+            for run in run_methods(scenario):
+                per_method[run.method].append(run.data.f1)
+        rows.append([level] + [mean(per_method[m]) for m in METHOD_COLUMNS])
+    table = format_table(
+        [noise_parameter, *METHOD_COLUMNS],
+        rows,
+        title=(
+            f"Mean data F1 vs {noise_parameter} "
+            f"({base.num_primitives} primitives, {len(SEEDS)} seeds)"
+        ),
+    )
+    trends = series_block(
+        f"F1 trend over {noise_parameter} in {list(LEVELS)}:",
+        {m: column(rows, m) for m in METHOD_COLUMNS},
+    )
+    return rows, table + "\n\n" + trends
+
+
+def column(rows, method: str) -> list[float]:
+    """F1 series of one method across the sweep."""
+    return [row[1 + METHOD_COLUMNS.index(method)] for row in rows]

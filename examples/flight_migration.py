@@ -1,0 +1,97 @@
+"""A hand-built migration scenario: legacy flight bookings.
+
+The intro-style use case: a legacy reservation system is migrated to a
+normalized schema.  A schema matcher produced correspondences — some
+right, some wrong — Clio-style generation turns them into candidate
+mappings, and the collective selector picks the subset that best explains
+a small verified data example.
+
+Run:  python examples/flight_migration.py
+"""
+
+from repro.core import (
+    Correspondence,
+    ForeignKey,
+    Instance,
+    Schema,
+    build_selection_problem,
+    data_quality,
+    exchanged_instance,
+    fact,
+    generate_candidates,
+    relation,
+    solve_collective,
+)
+
+
+def main() -> None:
+    # -- legacy (source) schema: one wide bookings table ----------------------
+    source_schema = Schema("legacy")
+    source_schema.add(
+        relation("booking", "ref", "passenger", "flightno", "origin", "destination")
+    )
+    source_schema.add(relation("loyalty", "passenger", "tier"))
+
+    # -- new (target) schema: normalized flights and tickets ------------------
+    target_schema = Schema("normalized")
+    target_schema.add(relation("flight", "fid", "flightno", "origin", "destination", key=("fid",)))
+    target_schema.add(relation("ticket", "ref", "passenger", "fid"))
+    target_schema.add(relation("member", "passenger", "tier"))
+    target_schema.add_foreign_key(ForeignKey("ticket", ("fid",), "flight", ("fid",)))
+
+    # -- matcher output: correct lines plus two spurious ones -----------------
+    correspondences = [
+        Correspondence("booking", "ref", "ticket", "ref"),
+        Correspondence("booking", "passenger", "ticket", "passenger"),
+        Correspondence("booking", "flightno", "flight", "flightno"),
+        Correspondence("booking", "origin", "flight", "origin"),
+        Correspondence("booking", "destination", "flight", "destination"),
+        Correspondence("loyalty", "passenger", "member", "passenger"),
+        Correspondence("loyalty", "tier", "member", "tier"),
+        # spurious matcher noise:
+        Correspondence("loyalty", "tier", "ticket", "passenger"),
+        Correspondence("booking", "origin", "member", "passenger"),
+    ]
+    candidates = generate_candidates(source_schema, target_schema, correspondences)
+    print(f"{len(candidates)} candidate mappings generated:")
+    for i, c in enumerate(candidates):
+        print(f"  c{i}: {c}")
+
+    # -- the verified data example (I, J) --------------------------------------
+    source = Instance(
+        [
+            fact("booking", "B1", "Ada", "LH400", "FRA", "JFK"),
+            fact("booking", "B2", "Grace", "LH400", "FRA", "JFK"),
+            fact("booking", "B3", "Alan", "BA100", "LHR", "SFO"),
+            fact("loyalty", "Ada", "gold"),
+            fact("loyalty", "Grace", "blue"),
+            fact("loyalty", "Alan", "silver"),
+        ]
+    )
+    target = Instance(
+        [
+            fact("flight", "F1", "LH400", "FRA", "JFK"),
+            fact("flight", "F2", "BA100", "LHR", "SFO"),
+            fact("ticket", "B1", "Ada", "F1"),
+            fact("ticket", "B2", "Grace", "F1"),
+            fact("ticket", "B3", "Alan", "F2"),
+            fact("member", "Ada", "gold"),
+            fact("member", "Grace", "blue"),
+            fact("member", "Alan", "silver"),
+        ]
+    )
+
+    problem = build_selection_problem(source, target, candidates)
+    result = solve_collective(problem)
+    print(f"\nSelected mapping (F = {result.objective}):")
+    for i in sorted(result.selected):
+        print(f"  c{i}: {candidates[i]}")
+
+    selected = [candidates[i] for i in sorted(result.selected)]
+    migrated = exchanged_instance(source, selected)
+    quality = data_quality(source, selected, target)
+    print(f"\nMigrated instance ({len(migrated)} facts), quality vs example: {quality}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""Noise-robustness sweep: data F1 as correspondence noise increases.
+
+Reproduces (in miniature) the shape of the paper's quality-vs-noise
+figures: the collective selector degrades gracefully while the
+all-candidates baseline loses precision linearly in the noise level.
+
+Run:  python examples/noise_robustness.py [pi_corresp|pi_errors|pi_unexplained]
+"""
+
+import sys
+from dataclasses import replace
+
+from repro.core import ScenarioConfig, generate_scenario, run_methods
+from repro.evaluation import format_table, mean
+
+LEVELS = (0, 25, 50, 75, 100)
+SEEDS = (1, 2, 3)
+
+
+def sweep(noise_parameter: str) -> None:
+    base = ScenarioConfig(num_primitives=4, rows_per_relation=12)
+    rows = []
+    for level in LEVELS:
+        f1 = {"collective": [], "greedy": [], "all-candidates": [], "gold": []}
+        for seed in SEEDS:
+            config = replace(base, seed=seed, **{noise_parameter: float(level)})
+            scenario = generate_scenario(config)
+            for run in run_methods(scenario):
+                f1[run.method].append(run.data.f1)
+        rows.append(
+            [level] + [mean(f1[m]) for m in ("collective", "greedy", "all-candidates", "gold")]
+        )
+    print(
+        format_table(
+            [noise_parameter, "collective", "greedy", "all-candidates", "gold"],
+            rows,
+            title=f"Mean data F1 over {len(SEEDS)} seeds vs {noise_parameter}",
+        )
+    )
+
+
+if __name__ == "__main__":
+    sweep(sys.argv[1] if len(sys.argv) > 1 else "pi_corresp")

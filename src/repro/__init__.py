@@ -1,0 +1,12 @@
+"""repro — A Collective, Probabilistic Approach to Schema Mapping.
+
+Reproduction of Kimmig, Memory, Miller & Getoor (ICDE 2017): selecting a
+schema mapping (a set of st tgds) from Clio-generated candidates by
+minimizing a coverage/error/size objective, relaxed into a hinge-loss
+MRF (probabilistic soft logic) and solved collectively with ADMM.
+
+See :mod:`repro.core` for the public API, ``DESIGN.md`` for the system
+inventory, and ``EXPERIMENTS.md`` for the reproduced evaluation.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,13 @@
+"""Clio-style candidate generation from attribute correspondences."""
+
+from repro.candidates.associations import Association, logical_associations
+from repro.candidates.correspondence import Correspondence, validate_correspondences
+from repro.candidates.cliogen import generate_candidates
+
+__all__ = [
+    "Association",
+    "Correspondence",
+    "generate_candidates",
+    "logical_associations",
+    "validate_correspondences",
+]

@@ -1,0 +1,100 @@
+"""Logical associations: join-connected groups of relations.
+
+Clio interprets a schema's foreign keys as join paths and generates
+mappings between *logical associations* — a relation together with the
+relations it references, transitively, each pair joined on its foreign
+key.  For every relation R we build the association obtained by chasing
+R's outgoing foreign keys (to the referenced parents); single relations
+are their own (trivial) associations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datamodel.schema import Schema
+from repro.mappings.atoms import Atom
+from repro.mappings.terms import Variable
+
+
+@dataclass(frozen=True)
+class Association:
+    """A set of relations plus the FK join conditions linking them.
+
+    ``joins`` holds (relation_a, attribute_a, relation_b, attribute_b)
+    equalities.  ``root`` is the relation whose FK closure produced the
+    association.
+    """
+
+    root: str
+    relations: frozenset[str]
+    joins: tuple[tuple[str, str, str, str], ...] = ()
+
+    def atoms(self, schema: Schema, prefix: str = "") -> dict[str, Atom]:
+        """Build one atom per relation with join-unified variables.
+
+        Every (relation, attribute) position gets variable
+        ``{prefix}{relation}_{attribute}``; join equalities then merge
+        variables via a union-find so joined positions share one variable.
+        """
+        parent: dict[tuple[str, str], tuple[str, str]] = {}
+
+        def find(x: tuple[str, str]) -> tuple[str, str]:
+            parent.setdefault(x, x)
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        def union(x: tuple[str, str], y: tuple[str, str]) -> None:
+            parent[find(x)] = find(y)
+
+        for rel_a, attr_a, rel_b, attr_b in self.joins:
+            union((rel_a, attr_a), (rel_b, attr_b))
+
+        atoms: dict[str, Atom] = {}
+        for rel_name in sorted(self.relations):
+            rel = schema.get(rel_name)
+            terms = []
+            for attr in rel.attribute_names:
+                canonical_rel, canonical_attr = find((rel_name, attr))
+                terms.append(Variable(f"{prefix}{canonical_rel}_{canonical_attr}"))
+            atoms[rel_name] = Atom(rel_name, tuple(terms))
+        return atoms
+
+    def __repr__(self) -> str:
+        rels = ", ".join(sorted(self.relations))
+        return f"Assoc[{self.root}: {rels}]"
+
+
+def _fk_closure(root: str, schema: Schema) -> Association:
+    """Association of *root*: follow outgoing FKs to referenced relations."""
+    relations = {root}
+    joins: list[tuple[str, str, str, str]] = []
+    frontier = [root]
+    while frontier:
+        current = frontier.pop()
+        for fk in schema.foreign_keys:
+            if fk.source != current:
+                continue
+            for sa, ta in zip(fk.source_attributes, fk.target_attributes):
+                joins.append((fk.source, sa, fk.target, ta))
+            if fk.target not in relations:
+                relations.add(fk.target)
+                frontier.append(fk.target)
+    return Association(root, frozenset(relations), tuple(sorted(set(joins))))
+
+
+def logical_associations(schema: Schema) -> list[Association]:
+    """All logical associations of *schema*, one per root relation, deduped.
+
+    Associations with identical relation sets and joins are reported once
+    (keeping the lexicographically first root).
+    """
+    seen: dict[tuple, Association] = {}
+    for root in sorted(schema.relations):
+        assoc = _fk_closure(root, schema)
+        key = (assoc.relations, assoc.joins)
+        if key not in seen:
+            seen[key] = assoc
+    return list(seen.values())

@@ -1,0 +1,48 @@
+"""Attribute correspondences — the metadata evidence driving candidates.
+
+A correspondence asserts that a source attribute matches a target
+attribute (the output of a schema matcher, or hand-drawn lines in a
+mapping GUI).  Clio-style generation turns sets of correspondences into
+candidate st tgds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datamodel.schema import Schema
+from repro.errors import SchemaError
+
+
+@dataclass(frozen=True, slots=True)
+class Correspondence:
+    """``source_relation.source_attribute  ~  target_relation.target_attribute``."""
+
+    source_relation: str
+    source_attribute: str
+    target_relation: str
+    target_attribute: str
+
+    def validate_against(self, source_schema: Schema, target_schema: Schema) -> None:
+        """Raise :class:`SchemaError` unless both endpoints exist."""
+        source_schema.get(self.source_relation).position_of(self.source_attribute)
+        target_schema.get(self.target_relation).position_of(self.target_attribute)
+
+    def __repr__(self) -> str:
+        return (
+            f"{self.source_relation}.{self.source_attribute}"
+            f" ~ {self.target_relation}.{self.target_attribute}"
+        )
+
+
+def validate_correspondences(
+    correspondences,
+    source_schema: Schema,
+    target_schema: Schema,
+) -> None:
+    """Validate a whole collection, reporting the first offender."""
+    for c in correspondences:
+        try:
+            c.validate_against(source_schema, target_schema)
+        except SchemaError as exc:
+            raise SchemaError(f"invalid correspondence {c}: {exc}") from exc

@@ -1,0 +1,106 @@
+"""A simple schema matcher: correspondences from attribute-name similarity.
+
+The paper assumes correspondences are given (drawn by a user or produced
+by a matcher).  For end-to-end use on real schemas this module provides
+the standard baseline matcher: attribute names are compared by character
+n-gram Jaccard similarity (with relation names as context), and pairs
+above a threshold become :class:`~repro.candidates.correspondence.Correspondence`s.
+
+This is intentionally the *noisy* front end the selection method is
+designed to clean up after: near-synonym attributes in unrelated
+relations produce exactly the spurious correspondences the evaluation
+injects synthetically via ``pi_corresp``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.candidates.correspondence import Correspondence
+from repro.datamodel.schema import Schema
+
+
+def ngrams(text: str, n: int = 3) -> frozenset[str]:
+    """Character n-grams of *text*, lowercased and padded."""
+    padded = f"^{text.lower()}$"
+    if len(padded) <= n:
+        return frozenset({padded})
+    return frozenset(padded[i : i + n] for i in range(len(padded) - n + 1))
+
+
+def jaccard(a: frozenset[str], b: frozenset[str]) -> float:
+    """Jaccard similarity of two sets (1.0 when both are empty)."""
+    if not a and not b:
+        return 1.0
+    union = len(a | b)
+    return len(a & b) / union if union else 1.0
+
+
+def name_similarity(
+    source_relation: str,
+    source_attribute: str,
+    target_relation: str,
+    target_attribute: str,
+    attribute_weight: float = 0.8,
+) -> float:
+    """Blend of attribute-name and relation-name n-gram similarity."""
+    attribute_score = jaccard(ngrams(source_attribute), ngrams(target_attribute))
+    relation_score = jaccard(ngrams(source_relation), ngrams(target_relation))
+    return attribute_weight * attribute_score + (1 - attribute_weight) * relation_score
+
+
+@dataclass(frozen=True)
+class ScoredCorrespondence:
+    """A correspondence plus its matcher score."""
+
+    correspondence: Correspondence
+    score: float
+
+
+def match_schemas(
+    source_schema: Schema,
+    target_schema: Schema,
+    threshold: float = 0.5,
+    attribute_weight: float = 0.8,
+) -> list[ScoredCorrespondence]:
+    """All attribute pairs scoring at least *threshold*, best first.
+
+    Within one target attribute, every source attribute above the
+    threshold is reported — downstream selection, not the matcher, is
+    responsible for resolving the ambiguity.
+    """
+    scored: list[ScoredCorrespondence] = []
+    for source_relation in source_schema.relations.values():
+        for source_attribute in source_relation.attribute_names:
+            for target_relation in target_schema.relations.values():
+                for target_attribute in target_relation.attribute_names:
+                    score = name_similarity(
+                        source_relation.name,
+                        source_attribute,
+                        target_relation.name,
+                        target_attribute,
+                        attribute_weight,
+                    )
+                    if score >= threshold:
+                        scored.append(
+                            ScoredCorrespondence(
+                                Correspondence(
+                                    source_relation.name,
+                                    source_attribute,
+                                    target_relation.name,
+                                    target_attribute,
+                                ),
+                                score,
+                            )
+                        )
+    scored.sort(key=lambda s: (-s.score, repr(s.correspondence)))
+    return scored
+
+
+def correspondences_from_names(
+    source_schema: Schema,
+    target_schema: Schema,
+    threshold: float = 0.5,
+) -> list[Correspondence]:
+    """Convenience wrapper returning bare correspondences."""
+    return [s.correspondence for s in match_schemas(source_schema, target_schema, threshold)]

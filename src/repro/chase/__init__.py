@@ -1,0 +1,23 @@
+"""Chase engine: canonical universal solutions for st tgds."""
+
+from repro.chase.engine import (
+    ChaseResult,
+    Firing,
+    chase,
+    chase_single,
+    exchanged_instance,
+    match_body,
+)
+from repro.chase.target import TargetChaseResult, chase_target, violates_keys
+
+__all__ = [
+    "ChaseResult",
+    "Firing",
+    "chase",
+    "chase_single",
+    "exchanged_instance",
+    "match_body",
+    "TargetChaseResult",
+    "chase_target",
+    "violates_keys",
+]

@@ -1,0 +1,214 @@
+"""Chasing *target* dependencies: egds from keys, tgds from foreign keys.
+
+Data exchange does not stop at the st tgds: the target schema's own
+constraints must hold in the materialized instance.  This module
+implements the standard second-phase chase over a target instance:
+
+* **egds** (equality-generating dependencies) from primary keys: two
+  facts agreeing on the key must agree everywhere.  Chasing an egd
+  *unifies* values — null/anything merges; constant/constant conflicts
+  **fail** the chase (the instance admits no solution).
+
+* **tgds** from foreign keys (inclusion dependencies): a referencing
+  fact requires a referenced fact; missing parents are invented with
+  fresh nulls for their non-key attributes.
+
+The fixpoint of both is the canonical target solution.  Used by the
+extension experiment on constraint-aware exchange and available as a
+public API for downstream consumers of the exchanged data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.datamodel.instance import Fact, Instance
+from repro.datamodel.schema import Schema
+from repro.datamodel.values import NullFactory, Value, is_null
+
+
+@dataclass
+class TargetChaseResult:
+    """Outcome of the target chase.
+
+    Attributes:
+        instance: the repaired instance (meaningless if ``failed``).
+        failed: True iff an egd required two distinct constants to merge.
+        conflict: the offending value pair when failed.
+        unifications: number of egd firings applied.
+        invented: facts invented by foreign-key tgd firings.
+    """
+
+    instance: Instance
+    failed: bool = False
+    conflict: tuple[Value, Value] | None = None
+    unifications: int = 0
+    invented: list[Fact] = field(default_factory=list)
+
+
+class _Unifier:
+    """Union-find over values; constants are immovable roots."""
+
+    def __init__(self) -> None:
+        self._parent: dict[Value, Value] = {}
+
+    def find(self, value: Value) -> Value:
+        path = []
+        while value in self._parent:
+            path.append(value)
+            value = self._parent[value]
+        for p in path:
+            self._parent[p] = value
+        return value
+
+    def union(self, a: Value, b: Value) -> bool:
+        """Merge the classes of a and b; False on constant/constant conflict."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return True
+        if is_null(ra):
+            self._parent[ra] = rb
+            return True
+        if is_null(rb):
+            self._parent[rb] = ra
+            return True
+        return False  # two distinct constants
+
+    def apply(self, fact: Fact) -> Fact:
+        return Fact(fact.relation, tuple(self.find(v) for v in fact.values))
+
+
+def _chase_egds(
+    instance: Instance, schema: Schema, unifier: _Unifier
+) -> tuple[Instance, bool, tuple[Value, Value] | None, int]:
+    """Apply key egds to a fixpoint.  Returns (instance, failed, conflict, firings)."""
+    firings = 0
+    current = instance
+    changed = True
+    while changed:
+        changed = False
+        for relation_name in sorted(current.relation_names):
+            if relation_name not in schema:
+                continue
+            rel = schema.get(relation_name)
+            if not rel.key:
+                continue
+            key_positions = [rel.position_of(k) for k in rel.key]
+            by_key: dict[tuple, Fact] = {}
+            for f in sorted(current.facts_of(relation_name), key=repr):
+                key = tuple(f.values[i] for i in key_positions)
+                if any(is_null(v) for v in key):
+                    continue  # nulls in key positions do not trigger the egd
+                other = by_key.get(key)
+                if other is None:
+                    by_key[key] = f
+                    continue
+                for mine, theirs in zip(f.values, other.values):
+                    if unifier.find(mine) != unifier.find(theirs):
+                        if not unifier.union(mine, theirs):
+                            return current, True, (unifier.find(mine), unifier.find(theirs)), firings
+                        firings += 1
+                        changed = True
+        if changed:
+            current = Instance(unifier.apply(f) for f in current)
+    return current, False, None, firings
+
+
+def _chase_fk_tgds(
+    instance: Instance,
+    schema: Schema,
+    factory: NullFactory,
+) -> tuple[Instance, list[Fact]]:
+    """Invent missing FK parents to a fixpoint (terminates: one parent per child key)."""
+    current = instance.copy()
+    invented: list[Fact] = []
+    changed = True
+    while changed:
+        changed = False
+        for fk in schema.foreign_keys:
+            parent_rel = schema.get(fk.target)
+            parent_positions = [parent_rel.position_of(a) for a in fk.target_attributes]
+            child_rel = schema.get(fk.source)
+            child_positions = [child_rel.position_of(a) for a in fk.source_attributes]
+
+            existing_keys = {
+                tuple(f.values[i] for i in parent_positions)
+                for f in current.facts_of(fk.target)
+            }
+            for child in sorted(current.facts_of(fk.source), key=repr):
+                key = tuple(child.values[i] for i in child_positions)
+                if key in existing_keys:
+                    continue
+                values: list[Value] = []
+                for position in range(parent_rel.arity):
+                    if position in parent_positions:
+                        values.append(key[parent_positions.index(position)])
+                    else:
+                        values.append(factory.fresh())
+                parent = Fact(fk.target, tuple(values))
+                current.add(parent)
+                invented.append(parent)
+                existing_keys.add(key)
+                changed = True
+    return current, invented
+
+
+def chase_target(
+    instance: Instance,
+    schema: Schema,
+    null_factory: NullFactory | None = None,
+) -> TargetChaseResult:
+    """Chase *instance* with the target schema's keys and foreign keys.
+
+    Runs the egd chase and the FK tgd chase alternately until both are at
+    a fixpoint (inventing a parent can enable a key merge and vice versa).
+    """
+    factory = null_factory if null_factory is not None else NullFactory(10_000_000)
+    unifier = _Unifier()
+    current = instance.copy()
+    total_unifications = 0
+    all_invented: list[Fact] = []
+
+    for _ in range(1 + len(schema.foreign_keys) + len(schema.relations)):
+        current, failed, conflict, firings = _chase_egds(current, schema, unifier)
+        total_unifications += firings
+        if failed:
+            return TargetChaseResult(
+                current, failed=True, conflict=conflict, unifications=total_unifications
+            )
+        expanded, invented = _chase_fk_tgds(current, schema, factory)
+        all_invented.extend(invented)
+        if len(expanded) == len(current) and not firings:
+            current = expanded
+            break
+        current = expanded
+
+    return TargetChaseResult(
+        current,
+        unifications=total_unifications,
+        invented=[unifier.apply(f) for f in all_invented],
+    )
+
+
+def violates_keys(instance: Instance, schema: Schema) -> bool:
+    """Quick check: does any relation contain two facts sharing a key?
+
+    Unlike :func:`chase_target` this does not attempt repairs — facts
+    whose key values are nulls are ignored, matching the egd trigger.
+    """
+    for relation_name in instance.relation_names:
+        if relation_name not in schema:
+            continue
+        rel = schema.get(relation_name)
+        if not rel.key:
+            continue
+        positions = [rel.position_of(k) for k in rel.key]
+        seen: dict[tuple, Fact] = {}
+        for f in instance.facts_of(relation_name):
+            key = tuple(f.values[i] for i in positions)
+            if any(is_null(v) for v in key):
+                continue
+            if key in seen and seen[key] != f:
+                return True
+            seen[key] = f
+    return False

@@ -1,0 +1,158 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``generate`` — create an iBench-style scenario and write it as JSON;
+* ``select``   — load a scenario JSON, run a selection method, report quality;
+* ``sweep``    — quality-vs-noise sweep printed as a table;
+* ``demo``     — the paper's running example with its appendix objective table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+
+from repro.evaluation.harness import DEFAULT_METHODS, exact_method, run_methods
+from repro.evaluation.reporting import format_table, mean
+from repro.ibench.config import ALL_PRIMITIVES, ScenarioConfig
+from repro.ibench.generator import generate_scenario
+from repro.io.serialize import load_scenario, save_scenario
+from repro.selection.baselines import solve_independent
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Collective, probabilistic schema-mapping selection (ICDE 2017 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser("generate", help="generate a scenario and write JSON")
+    generate.add_argument("output", help="path of the scenario JSON to write")
+    generate.add_argument("--primitives", type=int, default=4)
+    generate.add_argument(
+        "--kinds", nargs="+", default=list(ALL_PRIMITIVES), choices=ALL_PRIMITIVES
+    )
+    generate.add_argument("--rows", type=int, default=12)
+    generate.add_argument("--pi-corresp", type=float, default=0.0)
+    generate.add_argument("--pi-errors", type=float, default=0.0)
+    generate.add_argument("--pi-unexplained", type=float, default=0.0)
+    generate.add_argument("--seed", type=int, default=0)
+
+    select = sub.add_parser("select", help="run selection methods on a scenario JSON")
+    select.add_argument("scenario", help="path of a scenario JSON")
+    select.add_argument(
+        "--method",
+        choices=[*DEFAULT_METHODS, "exact", "independent", "all"],
+        default="all",
+    )
+
+    sweep = sub.add_parser("sweep", help="quality-vs-noise sweep")
+    sweep.add_argument(
+        "--noise",
+        choices=["pi_corresp", "pi_errors", "pi_unexplained"],
+        default="pi_corresp",
+    )
+    sweep.add_argument("--primitives", type=int, default=4)
+    sweep.add_argument("--rows", type=int, default=12)
+    sweep.add_argument("--seeds", type=int, nargs="+", default=[1, 2])
+    sweep.add_argument("--levels", type=float, nargs="+", default=[0, 25, 50, 75, 100])
+
+    sub.add_parser("demo", help="the paper's running example")
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    config = ScenarioConfig(
+        num_primitives=args.primitives,
+        primitive_kinds=tuple(args.kinds),
+        rows_per_relation=args.rows,
+        pi_corresp=args.pi_corresp,
+        pi_errors=args.pi_errors,
+        pi_unexplained=args.pi_unexplained,
+        seed=args.seed,
+    )
+    scenario = generate_scenario(config)
+    save_scenario(scenario, args.output)
+    print(f"wrote {args.output}: {scenario.summary()}")
+    return 0
+
+
+def _cmd_select(args: argparse.Namespace) -> int:
+    scenario = load_scenario(args.scenario)
+    methods = dict(DEFAULT_METHODS)
+    methods["exact"] = exact_method
+    methods["independent"] = solve_independent
+    if args.method != "all":
+        methods = {args.method: methods[args.method]}
+    runs = run_methods(scenario, methods=methods)
+    print(scenario.summary())
+    print(
+        format_table(
+            ["method", "data F1", "map F1", "objective", "|M|", "sec"],
+            [
+                [r.method, r.data.f1, r.mapping.f1, float(r.objective), len(r.selected), r.seconds]
+                for r in runs
+            ],
+        )
+    )
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    base = ScenarioConfig(num_primitives=args.primitives, rows_per_relation=args.rows)
+    columns = ("collective", "greedy", "all-candidates", "gold")
+    rows = []
+    for level in args.levels:
+        f1: dict[str, list[float]] = {m: [] for m in columns}
+        for seed in args.seeds:
+            config = replace(base, seed=seed, **{args.noise: float(level)})
+            for run in run_methods(generate_scenario(config)):
+                f1[run.method].append(run.data.f1)
+        rows.append([level] + [mean(f1[m]) for m in columns])
+    print(format_table([args.noise, *columns], rows))
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.examples_data import paper_example
+    from repro.selection.collective import solve_collective
+    from repro.selection.metrics import build_selection_problem
+    from repro.selection.objective import objective_breakdown
+
+    ex = paper_example()
+    problem = build_selection_problem(ex.source, ex.target, ex.candidates)
+    rows = []
+    for label, selected in [("{}", []), ("{t1}", [0]), ("{t3}", [1]), ("{t1,t3}", [0, 1])]:
+        b = objective_breakdown(problem, selected)
+        rows.append([label, str(b.unexplained), str(b.errors), str(b.size), str(b.total)])
+    print(
+        format_table(
+            ["M", "sum 1-explains", "sum error", "size", "Eq.(9)"],
+            rows,
+            title="Appendix Section I objective table",
+        )
+    )
+    result = solve_collective(problem)
+    print(f"\ncollective selection: {sorted(result.selected) or '{}'} F={result.objective}")
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "select": _cmd_select,
+    "sweep": _cmd_sweep,
+    "demo": _cmd_demo,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,34 @@
+"""Relational data model: values, schemas, facts, instances, data examples."""
+
+from repro.datamodel.instance import DataExample, Fact, Instance, fact
+from repro.datamodel.schema import Attribute, ForeignKey, Relation, Schema, relation
+from repro.datamodel.values import (
+    Constant,
+    LabeledNull,
+    NullFactory,
+    Value,
+    constants_in,
+    is_constant,
+    is_null,
+    nulls_in,
+)
+
+__all__ = [
+    "Attribute",
+    "Constant",
+    "DataExample",
+    "Fact",
+    "ForeignKey",
+    "Instance",
+    "LabeledNull",
+    "NullFactory",
+    "Relation",
+    "Schema",
+    "Value",
+    "constants_in",
+    "fact",
+    "is_constant",
+    "is_null",
+    "nulls_in",
+    "relation",
+]

@@ -1,0 +1,149 @@
+"""Relational schemas: attributes, relations, foreign keys.
+
+Schemas are deliberately lightweight — just enough structure for schema
+mapping: named relations with ordered named attributes, optional primary
+keys, and foreign keys.  Foreign keys drive the notion of *logical
+association* used by Clio-style candidate generation
+(:mod:`repro.candidates.associations`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SchemaError
+
+
+@dataclass(frozen=True, slots=True)
+class Attribute:
+    """A named attribute (column) of a relation."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class Relation:
+    """A relation schema: a name, ordered attributes, and an optional key.
+
+    ``key`` lists the names of the primary-key attributes (possibly empty).
+    """
+
+    name: str
+    attributes: tuple[Attribute, ...]
+    key: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        names = [a.name for a in self.attributes]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate attribute names in relation {self.name!r}: {names}")
+        for k in self.key:
+            if k not in names:
+                raise SchemaError(f"key attribute {k!r} not in relation {self.name!r}")
+
+    @property
+    def arity(self) -> int:
+        """Number of attributes."""
+        return len(self.attributes)
+
+    @property
+    def attribute_names(self) -> tuple[str, ...]:
+        """Attribute names in declaration order."""
+        return tuple(a.name for a in self.attributes)
+
+    def position_of(self, attribute_name: str) -> int:
+        """Index of *attribute_name* within this relation.
+
+        Raises :class:`SchemaError` if the attribute does not exist.
+        """
+        try:
+            return self.attribute_names.index(attribute_name)
+        except ValueError:
+            raise SchemaError(
+                f"relation {self.name!r} has no attribute {attribute_name!r}"
+            ) from None
+
+    def __repr__(self) -> str:
+        cols = ", ".join(self.attribute_names)
+        return f"{self.name}({cols})"
+
+
+def relation(name: str, *attribute_names: str, key: tuple[str, ...] = ()) -> Relation:
+    """Convenience constructor: ``relation("R", "a", "b")``."""
+    return Relation(name, tuple(Attribute(n) for n in attribute_names), key)
+
+
+@dataclass(frozen=True, slots=True)
+class ForeignKey:
+    """A foreign key: attributes of *source* reference attributes of *target*.
+
+    ``source_attributes`` and ``target_attributes`` are parallel tuples of
+    attribute names.
+    """
+
+    source: str
+    source_attributes: tuple[str, ...]
+    target: str
+    target_attributes: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.source_attributes) != len(self.target_attributes):
+            raise SchemaError(
+                f"foreign key {self.source}->{self.target}: attribute lists differ in length"
+            )
+        if not self.source_attributes:
+            raise SchemaError(f"foreign key {self.source}->{self.target}: empty attribute list")
+
+    def __repr__(self) -> str:
+        src = ",".join(self.source_attributes)
+        dst = ",".join(self.target_attributes)
+        return f"FK {self.source}({src}) -> {self.target}({dst})"
+
+
+@dataclass(slots=True)
+class Schema:
+    """A named collection of relations plus foreign keys between them."""
+
+    name: str
+    relations: dict[str, Relation] = field(default_factory=dict)
+    foreign_keys: list[ForeignKey] = field(default_factory=list)
+
+    def add(self, rel: Relation) -> Relation:
+        """Register *rel*; raises :class:`SchemaError` on duplicate names."""
+        if rel.name in self.relations:
+            raise SchemaError(f"schema {self.name!r} already has relation {rel.name!r}")
+        self.relations[rel.name] = rel
+        return rel
+
+    def add_foreign_key(self, fk: ForeignKey) -> ForeignKey:
+        """Register *fk*, validating both endpoints against the schema."""
+        for rel_name, attrs in (
+            (fk.source, fk.source_attributes),
+            (fk.target, fk.target_attributes),
+        ):
+            rel = self.get(rel_name)
+            for a in attrs:
+                rel.position_of(a)
+        self.foreign_keys.append(fk)
+        return fk
+
+    def get(self, relation_name: str) -> Relation:
+        """Look up a relation by name; raises :class:`SchemaError` if absent."""
+        try:
+            return self.relations[relation_name]
+        except KeyError:
+            raise SchemaError(
+                f"schema {self.name!r} has no relation {relation_name!r}"
+            ) from None
+
+    def __contains__(self, relation_name: str) -> bool:
+        return relation_name in self.relations
+
+    def __len__(self) -> int:
+        return len(self.relations)
+
+    def __repr__(self) -> str:
+        rels = "; ".join(repr(r) for r in self.relations.values())
+        return f"Schema {self.name}: {rels}"

@@ -1,0 +1,79 @@
+"""Values that may appear in database facts: constants and labeled nulls.
+
+The data-exchange literature distinguishes *constants* (ordinary data
+values from the active domain) from *labeled nulls* (placeholders invented
+by the chase for existentially quantified variables).  Homomorphisms may
+map labeled nulls to any value but must fix constants.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Union
+
+
+@dataclass(frozen=True, slots=True)
+class Constant:
+    """An ordinary data value.  Homomorphisms map constants to themselves."""
+
+    value: object
+
+    def __repr__(self) -> str:
+        return f"{self.value}"
+
+
+@dataclass(frozen=True, slots=True)
+class LabeledNull:
+    """A labeled null introduced by the chase for an existential variable.
+
+    Nulls compare by label: two nulls with the same label are the same
+    null.  Homomorphisms may map a null to a constant or to another null.
+    """
+
+    label: int
+
+    def __repr__(self) -> str:
+        return f"N{self.label}"
+
+
+Value = Union[Constant, LabeledNull]
+
+
+def is_null(value: Value) -> bool:
+    """Return True iff *value* is a labeled null."""
+    return isinstance(value, LabeledNull)
+
+
+def is_constant(value: Value) -> bool:
+    """Return True iff *value* is a constant."""
+    return isinstance(value, Constant)
+
+
+class NullFactory:
+    """Generates fresh labeled nulls with unique, monotonically rising labels.
+
+    A single factory is threaded through a chase run so that nulls created
+    for different tgd firings never collide.
+    """
+
+    def __init__(self, start: int = 0):
+        self._counter = itertools.count(start)
+
+    def fresh(self) -> LabeledNull:
+        """Return a labeled null never produced by this factory before."""
+        return LabeledNull(next(self._counter))
+
+    def fresh_many(self, count: int) -> list[LabeledNull]:
+        """Return *count* distinct fresh nulls."""
+        return [self.fresh() for _ in range(count)]
+
+
+def constants_in(values: Iterable[Value]) -> set[Constant]:
+    """The set of constants among *values*."""
+    return {v for v in values if isinstance(v, Constant)}
+
+
+def nulls_in(values: Iterable[Value]) -> set[LabeledNull]:
+    """The set of labeled nulls among *values*."""
+    return {v for v in values if isinstance(v, LabeledNull)}

@@ -1,0 +1,23 @@
+"""Evaluation: quality metrics, experiment harness, reporting."""
+
+from repro.evaluation.harness import DEFAULT_METHODS, MethodRun, exact_method, run_methods
+from repro.evaluation.metrics import (
+    PrecisionRecall,
+    data_quality,
+    instance_precision_recall,
+    mapping_quality,
+)
+from repro.evaluation.reporting import format_table, mean
+
+__all__ = [
+    "DEFAULT_METHODS",
+    "MethodRun",
+    "PrecisionRecall",
+    "data_quality",
+    "exact_method",
+    "format_table",
+    "instance_precision_recall",
+    "mapping_quality",
+    "mean",
+    "run_methods",
+]

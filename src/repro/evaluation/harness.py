@@ -1,0 +1,100 @@
+"""Experiment harness: run every selection method on a scenario and score it.
+
+One :class:`MethodRun` row per (scenario, method) pair carries the data-
+and mapping-level quality plus the objective value and wall time — the
+exact columns the paper's evaluation figures plot.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, Mapping
+
+from repro.evaluation.metrics import PrecisionRecall, data_quality, mapping_quality
+from repro.ibench.scenario import Scenario
+from repro.selection.baselines import select_all
+from repro.selection.collective import solve_collective
+from repro.selection.exact import SelectionResult, solve_branch_and_bound
+from repro.selection.greedy import solve_greedy
+from repro.selection.metrics import SelectionProblem
+
+Solver = Callable[[SelectionProblem], SelectionResult]
+
+DEFAULT_METHODS: dict[str, Solver] = {
+    "collective": solve_collective,
+    "greedy": solve_greedy,
+    "all-candidates": select_all,
+}
+
+
+@dataclass(frozen=True)
+class MethodRun:
+    """Outcome of one selection method on one scenario."""
+
+    method: str
+    selected: frozenset[int]
+    objective: Fraction
+    data: PrecisionRecall
+    mapping: PrecisionRecall
+    seconds: float
+
+    def row(self) -> str:
+        return (
+            f"{self.method:<16} F1={self.data.f1:.3f} "
+            f"(P={self.data.precision:.3f} R={self.data.recall:.3f}) "
+            f"mapF1={self.mapping.f1:.3f} F={float(self.objective):.2f} "
+            f"|M|={len(self.selected)} t={self.seconds:.2f}s"
+        )
+
+
+def run_methods(
+    scenario: Scenario,
+    methods: Mapping[str, Solver] | None = None,
+    problem: SelectionProblem | None = None,
+    include_gold: bool = True,
+) -> list[MethodRun]:
+    """Score each method on *scenario*; optionally add the gold reference row."""
+    methods = dict(methods if methods is not None else DEFAULT_METHODS)
+    problem = problem if problem is not None else scenario.selection_problem()
+
+    runs: list[MethodRun] = []
+    for name, solver in methods.items():
+        start = time.perf_counter()
+        result = solver(problem)
+        elapsed = time.perf_counter() - start
+        runs.append(_score(scenario, problem, name, result.selected, result.objective, elapsed))
+
+    if include_gold:
+        from repro.selection.objective import objective_value
+
+        gold = frozenset(scenario.gold_indices)
+        runs.append(
+            _score(scenario, problem, "gold", gold, objective_value(problem, gold), 0.0)
+        )
+    return runs
+
+
+def exact_method(problem: SelectionProblem) -> SelectionResult:
+    """The provably optimal solver, exposed with the harness signature."""
+    return solve_branch_and_bound(problem)
+
+
+def _score(
+    scenario: Scenario,
+    problem: SelectionProblem,
+    name: str,
+    selected: frozenset[int],
+    objective: Fraction,
+    seconds: float,
+) -> MethodRun:
+    tgds = [problem.candidates[i] for i in sorted(selected)]
+    return MethodRun(
+        method=name,
+        selected=selected,
+        objective=objective,
+        data=data_quality(scenario.source, tgds, scenario.reference_target),
+        mapping=mapping_quality(selected, scenario.gold_indices),
+        seconds=seconds,
+    )

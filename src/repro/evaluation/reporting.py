@@ -1,0 +1,76 @@
+"""Plain-text reporting of experiment series (paper-style rows)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned ASCII table.
+
+    Floats are shown with three decimals, everything else via ``str``.
+    """
+    rendered_rows = [
+        [f"{cell:.3f}" if isinstance(cell, float) else str(cell) for cell in row]
+        for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(list(headers)))
+    parts.append(line(["-" * w for w in widths]))
+    parts.extend(line(row) for row in rendered_rows)
+    return "\n".join(parts)
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (0.0 for an empty sequence)."""
+    return sum(values) / len(values) if values else 0.0
+
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], low: float | None = None, high: float | None = None) -> str:
+    """A unicode sparkline for a numeric series (e.g. an F1 trend).
+
+    The range defaults to the series' own min/max; pass ``low``/``high``
+    (e.g. 0 and 1 for F1 series) to make several sparklines comparable.
+    """
+    if not values:
+        return ""
+    lo = min(values) if low is None else low
+    hi = max(values) if high is None else high
+    if hi <= lo:
+        return _SPARK_LEVELS[-1] * len(values)
+    span = hi - lo
+    chars = []
+    for v in values:
+        clamped = min(max(v, lo), hi)
+        index = int((clamped - lo) / span * (len(_SPARK_LEVELS) - 1))
+        chars.append(_SPARK_LEVELS[index])
+    return "".join(chars)
+
+
+def series_block(title: str, series: dict[str, Sequence[float]], low: float = 0.0, high: float = 1.0) -> str:
+    """Render named series as aligned label + sparkline + last value."""
+    width = max((len(name) for name in series), default=0)
+    lines = [title]
+    for name, values in series.items():
+        lines.append(
+            f"  {name.ljust(width)}  {sparkline(values, low, high)}  "
+            f"{values[-1]:.3f}" if values else f"  {name.ljust(width)}"
+        )
+    return "\n".join(lines)

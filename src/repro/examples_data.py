@@ -1,0 +1,86 @@
+"""The paper's running example, as fixed numerically by the appendix.
+
+Source instance I (relation ``proj(pname, emp, company)``)::
+
+    proj(BigData, Bob, IBM)
+    proj(ML, Alice, SAP)
+
+Target example J (relations ``task(pname, emp, oid)``, ``org(oid, company)``)::
+
+    task(ML, Alice, 111)      org(111, SAP)
+    task(Search, Carol, 222)  org(222, Oracle)   <- inert, beyond C's reach
+
+Candidates (Figure 1(d) of the paper, reduced set C' = {theta1, theta3})::
+
+    theta1: proj(P, E, C) -> task(P, E, O)
+    theta3: proj(P, E, C) -> task(P, E, O) & org(O, C)
+
+With these inputs the appendix reports objective Eq. (9) values
+{} -> 4, {theta1} -> 7 1/3, {theta3} -> 8, {theta1, theta3} -> 12, and
+after adding five more ML-like projects the optimum flips to {theta3}.
+These exact numbers are regression-tested in
+``tests/selection/test_appendix_example.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datamodel.instance import Instance, fact
+from repro.datamodel.schema import ForeignKey, Schema, relation
+from repro.mappings.parser import parse_tgd
+from repro.mappings.tgd import StTgd
+
+
+@dataclass(frozen=True)
+class PaperExample:
+    """All ingredients of the appendix's worked example."""
+
+    source_schema: Schema
+    target_schema: Schema
+    source: Instance
+    target: Instance
+    theta1: StTgd
+    theta3: StTgd
+
+    @property
+    def candidates(self) -> list[StTgd]:
+        return [self.theta1, self.theta3]
+
+
+def paper_example(extra_projects: int = 0) -> PaperExample:
+    """Build the appendix example, optionally with *extra_projects* ML-like rows.
+
+    Each extra project adds ``proj(ProjX<i>, Alice, SAP)`` to I and
+    ``task(ProjX<i>, Alice, 111)`` to J — the appendix's device for
+    flipping the optimal selection from {} to {theta3} (at >= 5 extras).
+    """
+    source_schema = Schema("S")
+    source_schema.add(relation("proj", "pname", "emp", "company"))
+
+    target_schema = Schema("T")
+    target_schema.add(relation("task", "pname", "emp", "oid"))
+    target_schema.add(relation("org", "oid", "company", key=("oid",)))
+    target_schema.add_foreign_key(ForeignKey("task", ("oid",), "org", ("oid",)))
+
+    source = Instance(
+        [
+            fact("proj", "BigData", "Bob", "IBM"),
+            fact("proj", "ML", "Alice", "SAP"),
+        ]
+    )
+    target = Instance(
+        [
+            fact("task", "ML", "Alice", 111),
+            fact("org", 111, "SAP"),
+            fact("task", "Search", "Carol", 222),
+            fact("org", 222, "Oracle"),
+        ]
+    )
+    for i in range(extra_projects):
+        source.add(fact("proj", f"ProjX{i}", "Alice", "SAP"))
+        target.add(fact("task", f"ProjX{i}", "Alice", 111))
+
+    theta1 = parse_tgd("t1: proj(P, E, C) -> task(P, E, O)")
+    theta3 = parse_tgd("t3: proj(P, E, C) -> task(P, E, O) & org(O, C)")
+    return PaperExample(source_schema, target_schema, source, target, theta1, theta3)

@@ -1,0 +1,67 @@
+"""Cores of instances with labeled nulls.
+
+The *core* is the smallest instance homomorphically equivalent to a given
+instance — the canonical, redundancy-free data-exchange result (Fagin,
+Kolaitis, Popa).  Canonical chase solutions routinely contain redundancy:
+two candidates copying the same source tuple yield isomorphic facts that
+fold onto each other.  The core folds them away.
+
+Computation: greedily look for a *proper retraction* — a homomorphism
+from the instance into itself minus one fact — and replace the instance
+by its image; repeat to a fixpoint.  Each fold strictly shrinks the
+instance, and at the fixpoint no fact is redundant, which for finite
+instances is exactly the core (up to isomorphism).
+"""
+
+from __future__ import annotations
+
+from repro.datamodel.instance import Instance
+from repro.homomorphism.search import find_homomorphism
+
+
+def _image(instance: Instance, binding) -> Instance:
+    return Instance(f.substitute(binding) for f in instance)
+
+
+def core_of(instance: Instance, max_folds: int | None = None) -> Instance:
+    """The core of *instance* (the instance itself when already a core).
+
+    ``max_folds`` optionally caps the number of folding steps (each step
+    removes at least one fact), for callers that only want cheap partial
+    minimization.
+    """
+    current = instance.copy()
+    folds = 0
+    changed = True
+    while changed:
+        changed = False
+        for f in sorted(current, key=repr):
+            if f.is_ground:
+                continue  # ground facts are in every retract
+            without = Instance(g for g in current if g != f)
+            binding = find_homomorphism(current, without)
+            if binding is None:
+                continue
+            current = _image(current, binding)
+            folds += 1
+            changed = True
+            if max_folds is not None and folds >= max_folds:
+                return current
+            break
+    return current
+
+
+def is_core(instance: Instance) -> bool:
+    """True iff *instance* admits no proper retraction."""
+    for f in instance:
+        if f.is_ground:
+            continue
+        without = Instance(g for g in instance if g != f)
+        if find_homomorphism(instance, without) is not None:
+            return False
+    return True
+
+
+def fold_count(instance: Instance) -> int:
+    """Number of facts the core computation removes (redundancy measure)."""
+    return len(instance) - len(core_of(instance))

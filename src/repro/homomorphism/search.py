@@ -1,0 +1,103 @@
+"""Homomorphism search between instances with labeled nulls.
+
+A homomorphism h maps labeled nulls to values (constants or nulls) and is
+the identity on constants; it maps an instance K into an instance J if
+h(f) is a fact of J for every fact f of K.  Homomorphisms are the standard
+tool for comparing instances with incomplete information and underpin the
+paper's graded ``covers``/``creates`` semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from repro.datamodel.instance import Fact, Instance
+from repro.datamodel.values import LabeledNull, Value, is_null
+
+
+def fact_matches(
+    f: Fact,
+    target: Fact,
+    fixed: Mapping[LabeledNull, Value] | None = None,
+) -> dict[LabeledNull, Value] | None:
+    """Match fact *f* onto *target* under an optional pre-bound null map.
+
+    Returns the (minimal) null assignment extending *fixed* that maps *f*
+    exactly onto *target*, or None if no such assignment exists.  Constants
+    must agree position-wise; a null may bind to any value but must bind
+    consistently across positions.
+    """
+    if f.relation != target.relation or f.arity != target.arity:
+        return None
+    binding: dict[LabeledNull, Value] = {}
+    for mine, theirs in zip(f.values, target.values):
+        if is_null(mine):
+            bound = (fixed or {}).get(mine, binding.get(mine))
+            if bound is None:
+                binding[mine] = theirs
+            elif bound != theirs:
+                return None
+        elif mine != theirs:
+            return None
+    return binding
+
+
+def fact_homomorphisms(
+    f: Fact,
+    instance: Instance,
+    fixed: Mapping[LabeledNull, Value] | None = None,
+) -> Iterator[dict[LabeledNull, Value]]:
+    """All ways of mapping the single fact *f* into *instance*.
+
+    Yields the null bindings (excluding the entries of *fixed*).
+    """
+    for candidate in instance.facts_of(f.relation):
+        binding = fact_matches(f, candidate, fixed)
+        if binding is not None:
+            yield binding
+
+
+def has_fact_homomorphism(
+    f: Fact,
+    instance: Instance,
+    fixed: Mapping[LabeledNull, Value] | None = None,
+) -> bool:
+    """True iff the single fact *f* maps into *instance* (given *fixed*)."""
+    return next(fact_homomorphisms(f, instance, fixed), None) is not None
+
+
+def find_homomorphism(
+    source: Instance,
+    target: Instance,
+) -> dict[LabeledNull, Value] | None:
+    """Find a homomorphism mapping *all* of *source* into *target*.
+
+    Backtracking over source facts, most-constrained (fewest candidate
+    images) first.  Returns the null assignment or None.  This is the
+    decision procedure behind universality checks: a canonical chase
+    result must map into every solution of the data-exchange problem.
+    """
+    facts = sorted(source, key=lambda f: len(target.facts_of(f.relation)))
+
+    def extend(index: int, binding: dict[LabeledNull, Value]) -> dict[LabeledNull, Value] | None:
+        if index == len(facts):
+            return dict(binding)
+        f = facts[index]
+        for candidate in target.facts_of(f.relation):
+            local = fact_matches(f, candidate, binding)
+            if local is None:
+                continue
+            binding.update(local)
+            result = extend(index + 1, binding)
+            if result is not None:
+                return result
+            for null in local:
+                del binding[null]
+        return None
+
+    return extend(0, {})
+
+
+def is_homomorphic(source: Instance, target: Instance) -> bool:
+    """True iff some homomorphism maps *source* into *target*."""
+    return find_homomorphism(source, target) is not None

@@ -1,0 +1,18 @@
+"""iBench-style scenario generation for the paper's evaluation."""
+
+from repro.ibench.config import ALL_PRIMITIVES, ScenarioConfig
+from repro.ibench.datagen import populate
+from repro.ibench.generator import generate_scenario
+from repro.ibench.primitives import PRIMITIVE_MAKERS, PrimitiveOutput, make_primitive
+from repro.ibench.scenario import Scenario
+
+__all__ = [
+    "ALL_PRIMITIVES",
+    "PRIMITIVE_MAKERS",
+    "PrimitiveOutput",
+    "Scenario",
+    "ScenarioConfig",
+    "generate_scenario",
+    "make_primitive",
+    "populate",
+]

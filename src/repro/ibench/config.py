@@ -1,0 +1,51 @@
+"""Scenario-generation parameters (the paper's Table I knobs).
+
+``pi_corresp``, ``pi_errors`` and ``pi_unexplained`` are percentages in
+[0, 100], matching the appendix's description of how metadata and data
+evidence are perturbed.  ``add_remove_range`` is the iBench range
+parameter for ADD/DL/ADL attribute counts, set to (2, 4) as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ScenarioError
+
+ALL_PRIMITIVES = ("CP", "ADD", "DL", "ADL", "ME", "VP", "VNM")
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Everything needed to deterministically generate one scenario."""
+
+    num_primitives: int = 4
+    primitive_kinds: tuple[str, ...] = ALL_PRIMITIVES
+    rows_per_relation: int = 10
+    value_pool: int = 8
+    pi_corresp: float = 0.0
+    pi_errors: float = 0.0
+    pi_unexplained: float = 0.0
+    add_remove_range: tuple[int, int] = (2, 4)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_primitives < 1:
+            raise ScenarioError("num_primitives must be >= 1")
+        if self.rows_per_relation < 1:
+            raise ScenarioError("rows_per_relation must be >= 1")
+        unknown = set(self.primitive_kinds) - set(ALL_PRIMITIVES)
+        if unknown:
+            raise ScenarioError(f"unknown primitive kinds: {sorted(unknown)}")
+        if not self.primitive_kinds:
+            raise ScenarioError("primitive_kinds must not be empty")
+        for label, value in (
+            ("pi_corresp", self.pi_corresp),
+            ("pi_errors", self.pi_errors),
+            ("pi_unexplained", self.pi_unexplained),
+        ):
+            if not 0.0 <= value <= 100.0:
+                raise ScenarioError(f"{label} must be a percentage in [0, 100]")
+        low, high = self.add_remove_range
+        if not 1 <= low <= high:
+            raise ScenarioError("add_remove_range must satisfy 1 <= low <= high")

@@ -1,0 +1,87 @@
+"""Source-instance population for generated scenarios.
+
+Relations are filled in foreign-key topological order (parents first) so
+referencing attributes can draw from the referenced key values, which
+guarantees the joins of ME-style primitives actually produce tuples.
+Non-key attributes draw from a bounded per-attribute value pool so some
+values repeat (realistic duplication without violating keys).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.datamodel.instance import Instance, fact
+from repro.datamodel.schema import Relation, Schema
+from repro.errors import ScenarioError
+
+
+def _topological_order(schema: Schema) -> list[Relation]:
+    """Relations sorted so every FK target precedes its sources."""
+    incoming: dict[str, set[str]] = {name: set() for name in schema.relations}
+    for fk in schema.foreign_keys:
+        incoming[fk.source].add(fk.target)
+    ordered: list[Relation] = []
+    placed: set[str] = set()
+    remaining = dict(incoming)
+    while remaining:
+        ready = sorted(name for name, deps in remaining.items() if deps <= placed)
+        if not ready:
+            raise ScenarioError(f"cyclic foreign keys among {sorted(remaining)}")
+        for name in ready:
+            ordered.append(schema.get(name))
+            placed.add(name)
+            del remaining[name]
+    return ordered
+
+
+def populate(
+    schema: Schema,
+    rows_per_relation: int,
+    rng: random.Random,
+    value_pool: int = 8,
+) -> Instance:
+    """Generate a ground instance of *schema*.
+
+    Key attributes get unique values; FK attributes sample the referenced
+    key's generated values; everything else draws from a pool of
+    ``value_pool`` relation/attribute-specific strings.
+    """
+    instance = Instance()
+    generated: dict[tuple[str, str], list[str]] = {}
+
+    fk_of: dict[tuple[str, str], tuple[str, str]] = {}
+    for fk in schema.foreign_keys:
+        for sa, ta in zip(fk.source_attributes, fk.target_attributes):
+            fk_of[(fk.source, sa)] = (fk.target, ta)
+
+    for rel in _topological_order(schema):
+        for attr in rel.attribute_names:
+            generated[(rel.name, attr)] = []
+        row = 0
+        attempts = 0
+        # Retry on duplicate rows (set semantics) so the relation really
+        # holds rows_per_relation distinct facts; give up gracefully when
+        # the value domain is too small to support that many.
+        while row < rows_per_relation and attempts < rows_per_relation * 10:
+            attempts += 1
+            values = []
+            for attr in rel.attribute_names:
+                position = (rel.name, attr)
+                if position in fk_of:
+                    parent_values = generated[fk_of[position]]
+                    if not parent_values:
+                        raise ScenarioError(
+                            f"foreign key {rel.name}.{attr} references an empty relation"
+                        )
+                    value = rng.choice(parent_values)
+                elif attr in rel.key:
+                    value = f"{rel.name}.{attr}.{row}"
+                else:
+                    value = f"{rel.name}.{attr}.v{rng.randrange(value_pool)}"
+                values.append(value)
+            if instance.add(fact(rel.name, *values)):
+                for attr, value in zip(rel.attribute_names, values):
+                    generated[(rel.name, attr)].append(value)
+                row += 1
+    return instance

@@ -1,0 +1,235 @@
+"""The seven iBench mapping primitives used in the paper's evaluation.
+
+Each primitive invocation contributes fresh source/target relations, the
+gold st tgd(s) relating them, the implied attribute correspondences, and
+any foreign keys (which drive Clio's logical associations):
+
+=====  ==============================================================
+CP     copy a source relation to the target under a new name
+ADD    copy and append 2-4 fresh (existential) attributes
+DL     copy and drop 2-4 attributes
+ADL    copy, drop 2-4 attributes and append 2-4 fresh ones
+ME     merge: join two source relations into one target relation
+VP     vertical partition: split one source relation into two joined
+       target relations sharing an invented key
+VNM    like VP but through an N-to-M bridge relation
+=====  ==============================================================
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.candidates.correspondence import Correspondence
+from repro.datamodel.schema import ForeignKey, Relation, relation
+from repro.errors import ScenarioError
+from repro.mappings.atoms import Atom
+from repro.mappings.terms import Variable
+from repro.mappings.tgd import StTgd
+
+
+@dataclass
+class PrimitiveOutput:
+    """Everything one primitive invocation adds to a scenario."""
+
+    kind: str
+    index: int
+    source_relations: list[Relation] = field(default_factory=list)
+    target_relations: list[Relation] = field(default_factory=list)
+    source_fks: list[ForeignKey] = field(default_factory=list)
+    target_fks: list[ForeignKey] = field(default_factory=list)
+    gold_tgds: list[StTgd] = field(default_factory=list)
+    correspondences: list[Correspondence] = field(default_factory=list)
+
+    @property
+    def relation_names(self) -> set[str]:
+        return {r.name for r in self.source_relations} | {
+            r.name for r in self.target_relations
+        }
+
+
+def _vars(prefix: str, count: int) -> list[Variable]:
+    return [Variable(f"{prefix}{i}") for i in range(count)]
+
+
+def _copy_like(
+    kind: str,
+    index: int,
+    rng: random.Random,
+    removed: int,
+    added: int,
+) -> PrimitiveOutput:
+    """Shared implementation of CP / ADD / DL / ADL."""
+    prefix = f"{kind.lower()}{index}"
+    kept = rng.randint(2, 4)
+    source_arity = kept + removed
+    source = relation(prefix + "_s", *[f"a{i}" for i in range(source_arity)])
+    target = relation(prefix + "_t", *[f"b{i}" for i in range(kept + added)])
+
+    xs = _vars("X", source_arity)
+    ys = _vars("Y", added)
+    gold = StTgd(
+        (Atom(source.name, tuple(xs)),),
+        (Atom(target.name, tuple(xs[:kept] + ys)),),
+        name=f"g_{prefix}",
+    )
+    correspondences = [
+        Correspondence(source.name, f"a{i}", target.name, f"b{i}") for i in range(kept)
+    ]
+    out = PrimitiveOutput(kind, index)
+    out.source_relations.append(source)
+    out.target_relations.append(target)
+    out.gold_tgds.append(gold)
+    out.correspondences.extend(correspondences)
+    return out
+
+
+def make_cp(index: int, rng: random.Random, add_remove: tuple[int, int]) -> PrimitiveOutput:
+    """CP: plain copy under a new relation name."""
+    return _copy_like("CP", index, rng, removed=0, added=0)
+
+
+def make_add(index: int, rng: random.Random, add_remove: tuple[int, int]) -> PrimitiveOutput:
+    """ADD: copy plus 2-4 invented target attributes."""
+    return _copy_like("ADD", index, rng, removed=0, added=rng.randint(*add_remove))
+
+
+def make_dl(index: int, rng: random.Random, add_remove: tuple[int, int]) -> PrimitiveOutput:
+    """DL: copy minus 2-4 source attributes."""
+    return _copy_like("DL", index, rng, removed=rng.randint(*add_remove), added=0)
+
+
+def make_adl(index: int, rng: random.Random, add_remove: tuple[int, int]) -> PrimitiveOutput:
+    """ADL: drop 2-4 source attributes and invent 2-4 target ones."""
+    return _copy_like(
+        "ADL", index, rng, removed=rng.randint(*add_remove), added=rng.randint(*add_remove)
+    )
+
+
+def make_me(index: int, rng: random.Random, add_remove: tuple[int, int]) -> PrimitiveOutput:
+    """ME: join two source relations on a key into one target relation."""
+    prefix = f"me{index}"
+    na, nb = rng.randint(1, 3), rng.randint(1, 3)
+    s1 = relation(prefix + "_s1", "k", *[f"a{i}" for i in range(na)], key=("k",))
+    s2 = relation(prefix + "_s2", "k", *[f"b{i}" for i in range(nb)])
+    target = relation(
+        prefix + "_t", "k", *[f"a{i}" for i in range(na)], *[f"b{i}" for i in range(nb)]
+    )
+
+    key = Variable("K")
+    avars, bvars = _vars("A", na), _vars("B", nb)
+    gold = StTgd(
+        (
+            Atom(s1.name, (key, *avars)),
+            Atom(s2.name, (key, *bvars)),
+        ),
+        (Atom(target.name, (key, *avars, *bvars)),),
+        name=f"g_{prefix}",
+    )
+    out = PrimitiveOutput("ME", index)
+    out.source_relations.extend([s1, s2])
+    out.target_relations.append(target)
+    out.source_fks.append(ForeignKey(s2.name, ("k",), s1.name, ("k",)))
+    out.gold_tgds.append(gold)
+    out.correspondences.append(Correspondence(s1.name, "k", target.name, "k"))
+    out.correspondences.extend(
+        Correspondence(s1.name, f"a{i}", target.name, f"a{i}") for i in range(na)
+    )
+    out.correspondences.extend(
+        Correspondence(s2.name, f"b{i}", target.name, f"b{i}") for i in range(nb)
+    )
+    return out
+
+
+def make_vp(index: int, rng: random.Random, add_remove: tuple[int, int]) -> PrimitiveOutput:
+    """VP: split one source relation into two target relations joined on an invented key."""
+    prefix = f"vp{index}"
+    na, nb = rng.randint(1, 3), rng.randint(1, 3)
+    source = relation(
+        prefix + "_s", *[f"a{i}" for i in range(na)], *[f"b{i}" for i in range(nb)]
+    )
+    t1 = relation(prefix + "_t1", *[f"a{i}" for i in range(na)], "f")
+    t2 = relation(prefix + "_t2", "f", *[f"b{i}" for i in range(nb)], key=("f",))
+
+    avars, bvars = _vars("A", na), _vars("B", nb)
+    fvar = Variable("F")
+    gold = StTgd(
+        (Atom(source.name, (*avars, *bvars)),),
+        (
+            Atom(t1.name, (*avars, fvar)),
+            Atom(t2.name, (fvar, *bvars)),
+        ),
+        name=f"g_{prefix}",
+    )
+    out = PrimitiveOutput("VP", index)
+    out.source_relations.append(source)
+    out.target_relations.extend([t1, t2])
+    out.target_fks.append(ForeignKey(t1.name, ("f",), t2.name, ("f",)))
+    out.gold_tgds.append(gold)
+    out.correspondences.extend(
+        Correspondence(source.name, f"a{i}", t1.name, f"a{i}") for i in range(na)
+    )
+    out.correspondences.extend(
+        Correspondence(source.name, f"b{i}", t2.name, f"b{i}") for i in range(nb)
+    )
+    return out
+
+
+def make_vnm(index: int, rng: random.Random, add_remove: tuple[int, int]) -> PrimitiveOutput:
+    """VNM: VP through a bridge relation establishing an N-to-M relationship."""
+    prefix = f"vnm{index}"
+    na, nb = rng.randint(1, 3), rng.randint(1, 3)
+    source = relation(
+        prefix + "_s", *[f"a{i}" for i in range(na)], *[f"b{i}" for i in range(nb)]
+    )
+    t1 = relation(prefix + "_t1", *[f"a{i}" for i in range(na)], "f", key=("f",))
+    t2 = relation(prefix + "_t2", "g", *[f"b{i}" for i in range(nb)], key=("g",))
+    bridge = relation(prefix + "_m", "f", "g")
+
+    avars, bvars = _vars("A", na), _vars("B", nb)
+    f, g = Variable("F"), Variable("G")
+    gold = StTgd(
+        (Atom(source.name, (*avars, *bvars)),),
+        (
+            Atom(t1.name, (*avars, f)),
+            Atom(bridge.name, (f, g)),
+            Atom(t2.name, (g, *bvars)),
+        ),
+        name=f"g_{prefix}",
+    )
+    out = PrimitiveOutput("VNM", index)
+    out.source_relations.append(source)
+    out.target_relations.extend([t1, t2, bridge])
+    out.target_fks.append(ForeignKey(bridge.name, ("f",), t1.name, ("f",)))
+    out.target_fks.append(ForeignKey(bridge.name, ("g",), t2.name, ("g",)))
+    out.gold_tgds.append(gold)
+    out.correspondences.extend(
+        Correspondence(source.name, f"a{i}", t1.name, f"a{i}") for i in range(na)
+    )
+    out.correspondences.extend(
+        Correspondence(source.name, f"b{i}", t2.name, f"b{i}") for i in range(nb)
+    )
+    return out
+
+
+PRIMITIVE_MAKERS = {
+    "CP": make_cp,
+    "ADD": make_add,
+    "DL": make_dl,
+    "ADL": make_adl,
+    "ME": make_me,
+    "VP": make_vp,
+    "VNM": make_vnm,
+}
+
+
+def make_primitive(
+    kind: str, index: int, rng: random.Random, add_remove: tuple[int, int]
+) -> PrimitiveOutput:
+    """Dispatch to the maker of *kind*; raises on unknown kinds."""
+    try:
+        maker = PRIMITIVE_MAKERS[kind]
+    except KeyError:
+        raise ScenarioError(f"unknown primitive kind {kind!r}") from None
+    return maker(index, rng, add_remove)

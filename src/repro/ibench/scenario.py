@@ -1,0 +1,64 @@
+"""The Scenario container: one generated schema-mapping selection task."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.candidates.correspondence import Correspondence
+from repro.datamodel.instance import Instance
+from repro.datamodel.schema import Schema
+from repro.ibench.config import ScenarioConfig
+from repro.ibench.primitives import PrimitiveOutput
+from repro.mappings.tgd import StTgd
+from repro.selection.metrics import SelectionProblem, build_selection_problem
+
+
+@dataclass
+class Scenario:
+    """A generated scenario: schemas, data example, candidates, gold truth.
+
+    Attributes:
+        config: the generation parameters.
+        primitives: the primitive invocations the scenario was built from.
+        source_schema / target_schema: the generated schemas.
+        source: the source instance I.
+        target: the target example J *after* noise injection.
+        reference_target: the grounded gold exchange (J before noise) —
+            the evaluation's ground truth for data-level F1.
+        correspondences: gold plus noise correspondences.
+        candidates: the Clio-generated candidate set C.
+        gold_indices: positions of the gold mapping MG within C.
+        deleted_facts / added_facts: the data-noise edits applied to J.
+    """
+
+    config: ScenarioConfig
+    primitives: list[PrimitiveOutput]
+    source_schema: Schema
+    target_schema: Schema
+    source: Instance
+    target: Instance
+    reference_target: Instance
+    correspondences: list[Correspondence]
+    candidates: list[StTgd]
+    gold_indices: list[int]
+    deleted_facts: list = field(default_factory=list)
+    added_facts: list = field(default_factory=list)
+
+    @property
+    def gold_mapping(self) -> list[StTgd]:
+        """The gold tgds MG, as members of the candidate set."""
+        return [self.candidates[i] for i in self.gold_indices]
+
+    def selection_problem(self) -> SelectionProblem:
+        """Materialize the covers/creates/size tables for this scenario."""
+        return build_selection_problem(self.source, self.target, self.candidates)
+
+    def summary(self) -> str:
+        """One-line description used by the benchmark harness."""
+        kinds = ",".join(p.kind for p in self.primitives)
+        return (
+            f"primitives=[{kinds}] |I|={len(self.source)} |J|={len(self.target)} "
+            f"|C|={len(self.candidates)} |MG|={len(self.gold_indices)} "
+            f"noise=(corr={self.config.pi_corresp}, err={self.config.pi_errors}, "
+            f"unexpl={self.config.pi_unexplained})"
+        )

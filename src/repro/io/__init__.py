@@ -1,0 +1,29 @@
+"""Persistence: JSON serialization of instances, schemas, and scenarios."""
+
+from repro.io.serialize import (
+    SerializationError,
+    instance_from_json,
+    instance_to_json,
+    load_scenario,
+    save_scenario,
+    scenario_from_json,
+    scenario_to_json,
+    schema_from_json,
+    schema_to_json,
+    tgd_from_json,
+    tgd_to_json,
+)
+
+__all__ = [
+    "SerializationError",
+    "instance_from_json",
+    "instance_to_json",
+    "load_scenario",
+    "save_scenario",
+    "scenario_from_json",
+    "scenario_to_json",
+    "schema_from_json",
+    "schema_to_json",
+    "tgd_from_json",
+    "tgd_to_json",
+]

@@ -1,0 +1,90 @@
+"""Textual format for st tgds.
+
+Grammar (whitespace-insensitive)::
+
+    tgd      :=  [name ":"] atomlist "->" atomlist
+    atomlist :=  atom ("&" atom)*
+    atom     :=  ident "(" term ("," term)* ")"
+    term     :=  variable | constant
+
+Terms starting with an uppercase letter or underscore are **variables**;
+everything else is a constant (integers become ``int`` constants, quoted
+strings and bare lowercase words become string constants).  Example::
+
+    t3: proj(P, E, C) -> task(P, E, O) & org(O, C)
+
+Multiple tgds may be given separated by newlines or semicolons.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.datamodel.values import Constant
+from repro.errors import ParseError
+from repro.mappings.atoms import Atom
+from repro.mappings.terms import Term, Variable
+from repro.mappings.tgd import StTgd
+
+_ATOM_RE = re.compile(r"\s*([A-Za-z_][\w.]*)\s*\(([^()]*)\)\s*")
+
+
+def _parse_term(token: str) -> Term:
+    token = token.strip()
+    if not token:
+        raise ParseError("empty term")
+    if token[0] == '"' and token[-1] == '"' and len(token) >= 2:
+        return Constant(token[1:-1])
+    if token[0].isupper() or token[0] == "_":
+        return Variable(token)
+    try:
+        return Constant(int(token))
+    except ValueError:
+        return Constant(token)
+
+
+def _parse_atom_list(text: str, where: str) -> tuple[Atom, ...]:
+    atoms: list[Atom] = []
+    pos = 0
+    text = text.strip()
+    while pos < len(text):
+        match = _ATOM_RE.match(text, pos)
+        if not match:
+            raise ParseError(f"cannot parse {where} at: {text[pos:]!r}")
+        relation, args = match.group(1), match.group(2)
+        terms = tuple(_parse_term(t) for t in args.split(",")) if args.strip() else ()
+        if not terms:
+            raise ParseError(f"atom {relation!r} has no terms")
+        atoms.append(Atom(relation, terms))
+        pos = match.end()
+        if pos < len(text):
+            if text[pos] != "&":
+                raise ParseError(f"expected '&' between atoms at: {text[pos:]!r}")
+            pos += 1
+    if not atoms:
+        raise ParseError(f"empty {where}")
+    return tuple(atoms)
+
+
+def parse_tgd(text: str) -> StTgd:
+    """Parse a single st tgd from *text*."""
+    text = text.strip()
+    name = ""
+    head_split = text.split("->")
+    if len(head_split) != 2:
+        raise ParseError(f"tgd must contain exactly one '->': {text!r}")
+    body_text, head_text = head_split
+    if ":" in body_text.split("(")[0]:
+        name, body_text = body_text.split(":", 1)
+        name = name.strip()
+    return StTgd(
+        _parse_atom_list(body_text, "body"),
+        _parse_atom_list(head_text, "head"),
+        name,
+    )
+
+
+def parse_tgds(text: str) -> list[StTgd]:
+    """Parse several tgds separated by newlines or semicolons."""
+    chunks = [c for c in re.split(r"[;\n]", text) if c.strip()]
+    return [parse_tgd(c) for c in chunks]

@@ -1,0 +1,31 @@
+"""Terms of mapping atoms: variables and (shared) constants."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.datamodel.values import Constant
+
+
+@dataclass(frozen=True, slots=True)
+class Variable:
+    """A first-order variable appearing in an st tgd."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+Term = Union[Variable, Constant]
+
+
+def is_variable(term: Term) -> bool:
+    """True iff *term* is a variable (rather than a constant)."""
+    return isinstance(term, Variable)
+
+
+def var(name: str) -> Variable:
+    """Convenience constructor for a variable."""
+    return Variable(name)

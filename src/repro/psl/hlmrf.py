@@ -1,0 +1,127 @@
+"""Hinge-loss Markov random fields.
+
+The MAP problem of a HL-MRF (Bach, Broecheler, Huang, Getoor, JMLR 2017)
+is the convex program::
+
+    minimize    sum_k  w_k * max(0, a_k^T x + b_k)^{p_k}     (p_k in {1,2})
+    subject to  a_c^T x + b_c  (<=|==) 0   for hard constraints
+                x in [0, 1]^n
+
+Variables are PSL ground atoms; potentials come from weighted rule
+groundings (or are added directly).  Solved by consensus ADMM in
+:mod:`repro.psl.admm`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.errors import InferenceError
+from repro.psl.predicate import GroundAtom
+
+
+@dataclass(frozen=True)
+class HingePotential:
+    """``weight * max(0, sum(coeff*x) + offset)``, optionally squared."""
+
+    coefficients: tuple[tuple[int, float], ...]
+    offset: float
+    weight: float
+    squared: bool = False
+
+    def value(self, x) -> float:
+        s = self.offset + sum(c * x[i] for i, c in self.coefficients)
+        hinge = max(0.0, s)
+        return self.weight * (hinge * hinge if self.squared else hinge)
+
+
+@dataclass(frozen=True)
+class HardConstraint:
+    """``sum(coeff*x) + offset <= 0`` (or ``== 0`` when *equality*)."""
+
+    coefficients: tuple[tuple[int, float], ...]
+    offset: float
+    equality: bool = False
+
+    def violation(self, x) -> float:
+        s = self.offset + sum(c * x[i] for i, c in self.coefficients)
+        return abs(s) if self.equality else max(0.0, s)
+
+
+@dataclass
+class HingeLossMRF:
+    """A HL-MRF over named ground atoms.
+
+    Use :meth:`variable_index` to intern atoms as variables, then add
+    potentials and constraints in terms of atom keys.
+    """
+
+    variables: list[GroundAtom] = field(default_factory=list)
+    _index: dict[GroundAtom, int] = field(default_factory=dict)
+    potentials: list[HingePotential] = field(default_factory=list)
+    constraints: list[HardConstraint] = field(default_factory=list)
+
+    @property
+    def num_variables(self) -> int:
+        return len(self.variables)
+
+    def variable_index(self, atom: GroundAtom) -> int:
+        """Intern *atom* as a variable and return its index."""
+        idx = self._index.get(atom)
+        if idx is None:
+            idx = len(self.variables)
+            self._index[atom] = idx
+            self.variables.append(atom)
+        return idx
+
+    def index_of(self, atom: GroundAtom) -> int:
+        try:
+            return self._index[atom]
+        except KeyError:
+            raise InferenceError(f"{atom} is not a variable of this MRF") from None
+
+    def add_potential(
+        self,
+        coefficients: Mapping[GroundAtom, float],
+        offset: float,
+        weight: float,
+        squared: bool = False,
+    ) -> None:
+        """Add ``weight * max(0, sum coeff*atom + offset)^(2 if squared)``."""
+        if weight < 0:
+            raise InferenceError(f"potential weight must be non-negative, got {weight}")
+        if weight == 0 or not coefficients:
+            return
+        self.potentials.append(
+            HingePotential(
+                tuple((self.variable_index(a), c) for a, c in coefficients.items() if c),
+                offset,
+                weight,
+                squared,
+            )
+        )
+
+    def add_constraint(
+        self,
+        coefficients: Mapping[GroundAtom, float],
+        offset: float,
+        equality: bool = False,
+    ) -> None:
+        """Add a hard linear constraint over atoms."""
+        coeffs = tuple((self.variable_index(a), c) for a, c in coefficients.items() if c)
+        if not coeffs:
+            if (equality and abs(offset) > 1e-9) or (not equality and offset > 1e-9):
+                raise InferenceError(f"infeasible constant constraint offset={offset}")
+            return
+        self.constraints.append(HardConstraint(coeffs, offset, equality))
+
+    def energy(self, x) -> float:
+        """Total weighted hinge loss at *x* (ignores constraints)."""
+        return sum(p.value(x) for p in self.potentials)
+
+    def max_violation(self, x) -> float:
+        """Largest hard-constraint violation at *x*."""
+        if not self.constraints:
+            return 0.0
+        return max(c.violation(x) for c in self.constraints)

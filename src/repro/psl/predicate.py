@@ -1,0 +1,43 @@
+"""PSL predicates and ground atoms.
+
+A predicate is *closed* when its ground atoms are fully observed (unknown
+atoms default to truth 0 under the closed-world assumption) and *open*
+when its atoms are random variables to be inferred.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Predicate:
+    """A PSL predicate with a fixed arity."""
+
+    name: str
+    arity: int
+    closed: bool = True
+
+    def __call__(self, *args: object) -> "GroundAtom":
+        """Build a ground atom: ``Friend("alice", "bob")``."""
+        if len(args) != self.arity:
+            raise ValueError(
+                f"predicate {self.name}/{self.arity} applied to {len(args)} arguments"
+            )
+        return GroundAtom(self, tuple(args))
+
+    def __repr__(self) -> str:
+        kind = "closed" if self.closed else "open"
+        return f"{self.name}/{self.arity}[{kind}]"
+
+
+@dataclass(frozen=True, slots=True)
+class GroundAtom:
+    """A predicate applied to constants (plain hashable python values)."""
+
+    predicate: Predicate
+    arguments: tuple[object, ...]
+
+    def __repr__(self) -> str:
+        inner = ", ".join(str(a) for a in self.arguments)
+        return f"{self.predicate.name}({inner})"

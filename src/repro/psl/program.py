@@ -1,0 +1,207 @@
+"""PSL programs: predicates + rules + data, compiled to a HL-MRF.
+
+:class:`PslProgram` is the user-facing entry point of the mini-PSL
+engine.  Typical use::
+
+    program = PslProgram()
+    friend = program.predicate("friend", 2)
+    votes = program.predicate("votes", 2, closed=False)
+    program.rule([lit(friend, "A", "B"), lit(votes, "A", "P")],
+                 [lit(votes, "B", "P")], weight=0.5)
+    program.observe(friend("alice", "bob"))
+    program.target(votes("alice", "left"))
+    ...
+    result = program.infer()
+    result.truth(votes("alice", "left"))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import GroundingError, InferenceError
+from repro.psl.admm import AdmmResult, AdmmSettings, AdmmSolver
+from repro.psl.database import Database
+from repro.psl.grounding import ground_rule, linearize
+from repro.psl.hlmrf import HingeLossMRF
+from repro.psl.predicate import GroundAtom, Predicate
+from repro.psl.rule import LinearConstraintSpec, Literal, Rule
+
+
+@dataclass
+class InferenceResult:
+    """MAP assignment over the target atoms, plus solver diagnostics."""
+
+    assignment: dict[GroundAtom, float]
+    admm: AdmmResult
+    num_potentials: int
+    num_constraints: int
+
+    def truth(self, atom: GroundAtom) -> float:
+        try:
+            return self.assignment[atom]
+        except KeyError:
+            raise InferenceError(f"{atom} was not a target of inference") from None
+
+    @property
+    def converged(self) -> bool:
+        return self.admm.converged
+
+
+class PslProgram:
+    """A PSL model: predicate declarations, rules, and grounding data."""
+
+    def __init__(self) -> None:
+        self._predicates: dict[str, Predicate] = {}
+        self._rules: list[Rule] = []
+        self._raw_potentials: list[tuple[dict[GroundAtom, float], float, float, bool]] = []
+        self._raw_constraints: list[LinearConstraintSpec] = []
+        self.database = Database()
+
+    # -- model construction --------------------------------------------------
+
+    def predicate(self, name: str, arity: int, closed: bool = True) -> Predicate:
+        """Declare (or fetch) a predicate."""
+        existing = self._predicates.get(name)
+        if existing is not None:
+            if existing.arity != arity or existing.closed != closed:
+                raise GroundingError(f"predicate {name} re-declared inconsistently")
+            return existing
+        p = Predicate(name, arity, closed)
+        self._predicates[name] = p
+        return p
+
+    def rule(
+        self,
+        body: Sequence[Literal],
+        head: Sequence[Literal],
+        weight: float | None = 1.0,
+        squared: bool = False,
+        name: str = "",
+    ) -> Rule:
+        """Add a first-order rule (``weight=None`` makes it hard)."""
+        r = Rule(tuple(body), tuple(head), weight, squared, name)
+        self._rules.append(r)
+        return r
+
+    def observe(self, atom: GroundAtom, truth: float = 1.0) -> None:
+        self.database.observe(atom, truth)
+
+    def target(self, atom: GroundAtom) -> None:
+        self.database.add_target(atom)
+
+    def add_raw_potential(
+        self,
+        coefficients: Mapping[GroundAtom, float],
+        offset: float,
+        weight: float,
+        squared: bool = False,
+    ) -> None:
+        """Attach ``weight*max(0, sum coeff*atom + offset)`` directly.
+
+        Used for potentials that are unnatural as logical rules, e.g.
+        per-candidate size priors with grounding-specific weights.
+        """
+        self._raw_potentials.append((dict(coefficients), offset, weight, squared))
+
+    def add_linear_constraint(
+        self,
+        coefficients: Mapping[GroundAtom, float],
+        offset: float,
+        equality: bool = False,
+    ) -> None:
+        """Attach an arithmetic constraint ``sum coeff*atom + offset <= 0``."""
+        self._raw_constraints.append(
+            LinearConstraintSpec(dict(coefficients), offset, equality)
+        )
+
+    # -- compilation and inference -------------------------------------------
+
+    def ground(
+        self,
+        weight_overrides: Mapping[Rule, float] | None = None,
+    ) -> HingeLossMRF:
+        """Ground all rules and compile the HL-MRF.
+
+        ``weight_overrides`` substitutes rule weights at grounding time
+        without mutating the (frozen) rules — the hook weight learning
+        uses to re-ground cheaply between epochs.
+        """
+        mrf, _ = self.ground_with_origins(weight_overrides)
+        return mrf
+
+    def ground_with_origins(
+        self,
+        weight_overrides: Mapping[Rule, float] | None = None,
+    ) -> tuple[HingeLossMRF, list[Rule | None]]:
+        """Like :meth:`ground`, also reporting each potential's source rule.
+
+        The returned list is parallel to ``mrf.potentials``; raw potentials
+        map to None.
+        """
+        overrides = weight_overrides or {}
+        mrf = HingeLossMRF()
+        origins: list[Rule | None] = []
+        for atom in self.database.targets:
+            mrf.variable_index(atom)
+        for rule in self._rules:
+            weight = overrides.get(rule, rule.weight)
+            for grounding in ground_rule(rule, self.database):
+                coefficients, constant = linearize(grounding, self.database)
+                targets = {a: c for a, c in coefficients.items() if self.database.is_target(a)}
+                # contributions of observed atoms are already in `constant`
+                # via linearize; drop zero-coefficient leftovers.
+                if rule.is_hard:
+                    mrf.add_constraint(targets, constant)
+                else:
+                    if not targets:
+                        continue  # fully observed grounding: constant energy
+                    before = len(mrf.potentials)
+                    mrf.add_potential(targets, constant, weight, rule.squared)
+                    origins.extend([rule] * (len(mrf.potentials) - before))
+        for coefficients, offset, weight, squared in self._raw_potentials:
+            before = len(mrf.potentials)
+            mrf.add_potential(coefficients, offset, weight, squared)
+            origins.extend([None] * (len(mrf.potentials) - before))
+        for spec in self._raw_constraints:
+            mrf.add_constraint(spec.coefficients, spec.offset, spec.equality)
+        return mrf, origins
+
+    def infer(
+        self,
+        settings: AdmmSettings | None = None,
+        warm_start: Mapping[GroundAtom, float] | None = None,
+        weight_overrides: Mapping[Rule, float] | None = None,
+    ) -> InferenceResult:
+        """Ground, solve MAP by ADMM, and read back target truths."""
+        mrf = self.ground(weight_overrides)
+        start = None
+        if warm_start:
+            start = np.full(mrf.num_variables, 0.5)
+            for atom, value in warm_start.items():
+                try:
+                    start[mrf.index_of(atom)] = value
+                except InferenceError:
+                    pass
+        result = AdmmSolver(mrf, settings).solve(start)
+        assignment = {
+            atom: float(result.x[mrf.index_of(atom)]) for atom in self.database.targets
+        }
+        return InferenceResult(
+            assignment=assignment,
+            admm=result,
+            num_potentials=len(mrf.potentials),
+            num_constraints=len(mrf.constraints),
+        )
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def rules(self) -> tuple[Rule, ...]:
+        return tuple(self._rules)
+
+    def predicates(self) -> Iterable[Predicate]:
+        return self._predicates.values()

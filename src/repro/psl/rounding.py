@@ -1,0 +1,105 @@
+"""Recovering discrete solutions from fractional MAP assignments.
+
+HL-MRF inference yields values in [0,1]; mapping selection needs a crisp
+subset.  :func:`round_solution` combines the two standard schemes:
+
+* **threshold sweep** — try every cut point induced by the fractional
+  values and keep the best subset under the *exact* discrete objective;
+* **greedy 1-flip local search** — starting from the sweep's winner, flip
+  single memberships while any flip improves the discrete objective.
+
+Both only query a caller-supplied ``objective(frozenset) -> value``
+callback, so the rounding is reusable for any binary-selection program.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Mapping, TypeVar
+
+Item = TypeVar("Item", bound=Hashable)
+
+
+def threshold_sweep(
+    fractional: Mapping[Item, float],
+    objective: Callable[[frozenset], object],
+) -> frozenset:
+    """Best prefix of items sorted by descending fractional value."""
+    ranked = sorted(fractional, key=lambda i: (-fractional[i], repr(i)))
+    best: frozenset = frozenset()
+    best_value = objective(best)
+    chosen: set[Item] = set()
+    for item in ranked:
+        chosen.add(item)
+        value = objective(frozenset(chosen))
+        if value < best_value:
+            best_value = value
+            best = frozenset(chosen)
+    return best
+
+
+def local_search(
+    start: frozenset,
+    universe: Mapping[Item, float],
+    objective: Callable[[frozenset], object],
+    max_rounds: int = 20,
+) -> frozenset:
+    """Greedy 1-flip improvement from *start* (first-improvement order)."""
+    current = set(start)
+    current_value = objective(frozenset(current))
+    for _ in range(max_rounds):
+        improved = False
+        for item in sorted(universe, key=repr):
+            flipped = set(current)
+            if item in flipped:
+                flipped.remove(item)
+            else:
+                flipped.add(item)
+            value = objective(frozenset(flipped))
+            if value < current_value:
+                current, current_value = flipped, value
+                improved = True
+        if not improved:
+            break
+    return frozenset(current)
+
+
+def randomized_rounding(
+    fractional: Mapping[Item, float],
+    objective: Callable[[frozenset], object],
+    trials: int = 32,
+    seed: int = 0,
+) -> frozenset:
+    """Sample subsets with membership probability = fractional value.
+
+    The classic LP-rounding scheme: each trial includes item i with
+    probability ``fractional[i]``; the best-scoring sample (including the
+    deterministic all-or-nothing extremes) is returned.
+    """
+    import random
+
+    rng = random.Random(seed)
+    items = sorted(fractional, key=repr)
+    best: frozenset = frozenset(i for i in items if fractional[i] >= 0.5)
+    best_value = objective(best)
+    for candidate in (frozenset(), frozenset(items)):
+        value = objective(candidate)
+        if value < best_value:
+            best, best_value = candidate, value
+    for _ in range(trials):
+        sample = frozenset(i for i in items if rng.random() < fractional[i])
+        value = objective(sample)
+        if value < best_value:
+            best, best_value = sample, value
+    return best
+
+
+def round_solution(
+    fractional: Mapping[Item, float],
+    objective: Callable[[frozenset], object],
+    with_local_search: bool = True,
+) -> frozenset:
+    """Threshold sweep followed by optional 1-flip local search."""
+    best = threshold_sweep(fractional, objective)
+    if with_local_search:
+        best = local_search(best, fractional, objective)
+    return best

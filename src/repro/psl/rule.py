@@ -1,0 +1,167 @@
+"""First-order PSL rules with Lukasiewicz semantics.
+
+A rule ``w : B1 & ... & Bk -> H1 | ... | Hm`` has distance to
+satisfaction::
+
+    max(0,  sum_i I(Bi) - (k - 1)  -  sum_j I(Hj))
+
+under the Lukasiewicz relaxation, where negated literals contribute
+``1 - I(a)``.  Weighted rules become hinge-loss potentials (optionally
+squared); rules with ``weight=None`` are hard constraints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.errors import GroundingError
+from repro.psl.predicate import GroundAtom, Predicate
+
+
+@dataclass(frozen=True, slots=True)
+class RuleVariable:
+    """A logical variable inside a rule literal (distinct from PSL atoms)."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+def V(name: str) -> RuleVariable:  # noqa: N802 - conventional constructor name
+    """Shorthand constructor for a rule variable."""
+    return RuleVariable(name)
+
+
+@dataclass(frozen=True, slots=True)
+class Literal:
+    """A possibly negated predicate applied to variables and/or constants."""
+
+    predicate: Predicate
+    arguments: tuple[object, ...]
+    negated: bool = False
+
+    def __post_init__(self) -> None:
+        if len(self.arguments) != self.predicate.arity:
+            raise GroundingError(
+                f"literal {self.predicate.name} expects {self.predicate.arity} "
+                f"arguments, got {len(self.arguments)}"
+            )
+
+    @property
+    def variables(self) -> tuple[RuleVariable, ...]:
+        return tuple(a for a in self.arguments if isinstance(a, RuleVariable))
+
+    def ground(self, substitution: Mapping[RuleVariable, object]) -> GroundAtom:
+        """Instantiate under *substitution* (must bind all variables)."""
+        args = []
+        for a in self.arguments:
+            if isinstance(a, RuleVariable):
+                if a not in substitution:
+                    raise GroundingError(f"unbound variable {a} in literal {self}")
+                args.append(substitution[a])
+            else:
+                args.append(a)
+        return GroundAtom(self.predicate, tuple(args))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(str(a) for a in self.arguments)
+        prefix = "~" if self.negated else ""
+        return f"{prefix}{self.predicate.name}({inner})"
+
+
+def lit(predicate: Predicate, *args: object, negated: bool = False) -> Literal:
+    """Convenience constructor using the parser's variable convention.
+
+    Strings starting with an uppercase letter or underscore become rule
+    variables; every other argument is a constant.  ``lit(Friend, "X",
+    "bob")`` has variable X and constant ``"bob"``.  Pass
+    :class:`RuleVariable` explicitly to override.
+    """
+    wrapped = tuple(
+        RuleVariable(a)
+        if isinstance(a, str) and a and (a[0].isupper() or a[0] == "_")
+        else a
+        for a in args
+    )
+    return Literal(predicate, wrapped, negated)
+
+
+def neg(literal: Literal) -> Literal:
+    """The negation of *literal*."""
+    return Literal(literal.predicate, literal.arguments, not literal.negated)
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A weighted (or hard, if ``weight is None``) first-order rule.
+
+    ``weight_argument`` optionally names a body-literal position whose
+    *observed truth value* scales the grounding's weight — PSL's idiom for
+    per-grounding weights (used here for the size prior).
+    """
+
+    body: tuple[Literal, ...]
+    head: tuple[Literal, ...]
+    weight: float | None = 1.0
+    squared: bool = False
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.body and not self.head:
+            raise GroundingError("rule must have at least one literal")
+        if self.weight is not None and self.weight < 0:
+            raise GroundingError(f"rule weight must be non-negative, got {self.weight}")
+        head_vars = {v for l in self.head for v in l.variables}
+        body_vars = {v for l in self.body for v in l.variables}
+        if not head_vars <= body_vars:
+            raise GroundingError(
+                f"unsafe rule {self}: head variables {head_vars - body_vars} "
+                f"not bound in body"
+            )
+
+    @property
+    def is_hard(self) -> bool:
+        return self.weight is None
+
+    def __repr__(self) -> str:
+        body = " & ".join(repr(l) for l in self.body) or "true"
+        head = " | ".join(repr(l) for l in self.head) or "false"
+        w = "." if self.is_hard else f"{self.weight}{'^2' if self.squared else ''}"
+        label = f"{self.name}: " if self.name else ""
+        return f"{label}[{w}] {body} -> {head}"
+
+
+@dataclass(frozen=True)
+class GroundRule:
+    """A rule instantiated with ground atoms (pre-potential form)."""
+
+    rule: Rule
+    body: tuple[GroundAtom, ...]
+    body_negated: tuple[bool, ...]
+    head: tuple[GroundAtom, ...]
+    head_negated: tuple[bool, ...]
+    weight: float | None
+
+    def __repr__(self) -> str:
+        body = " & ".join(
+            ("~" if n else "") + repr(a) for a, n in zip(self.body, self.body_negated)
+        )
+        head = " | ".join(
+            ("~" if n else "") + repr(a) for a, n in zip(self.head, self.head_negated)
+        )
+        return f"{body} -> {head}"
+
+
+@dataclass
+class LinearConstraintSpec:
+    """A raw arithmetic constraint  sum(coeff * atom) + offset (<=|==) 0.
+
+    PSL's arithmetic rules compile to these; programs may also add them
+    directly (the selection model's coverage caps do).
+    """
+
+    coefficients: dict[GroundAtom, float] = field(default_factory=dict)
+    offset: float = 0.0
+    equality: bool = False

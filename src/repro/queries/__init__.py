@@ -1,0 +1,23 @@
+"""Conjunctive queries, certain answers, and query-level quality."""
+
+from repro.queries.cq import (
+    ConjunctiveQuery,
+    QueryError,
+    certain_answers,
+    evaluate,
+    parse_query,
+    workload_for_schema,
+)
+from repro.queries.quality import QueryQuality, answer_precision_recall, query_quality
+
+__all__ = [
+    "ConjunctiveQuery",
+    "QueryError",
+    "QueryQuality",
+    "answer_precision_recall",
+    "certain_answers",
+    "evaluate",
+    "parse_query",
+    "query_quality",
+    "workload_for_schema",
+]

@@ -1,0 +1,139 @@
+"""Conjunctive queries and certain answers over instances with nulls.
+
+Data exchange judges a materialized target instance by the *certain
+answers* it yields: the answers of a query that hold in **every** possible
+world of the incomplete instance.  For unions of conjunctive queries the
+classic result applies: evaluate the query naively on the (universal)
+instance and discard answers containing labeled nulls.
+
+Query text format::
+
+    ans(X, Y) <- r(X, Z) & s(Z, Y)
+
+Head variables must occur in the body.  Constants follow the tgd parser's
+conventions (lowercase / numbers / quoted strings).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.chase.engine import match_body
+from repro.datamodel.instance import Instance
+from repro.datamodel.values import Value, is_null
+from repro.errors import ParseError, ReproError
+from repro.mappings.atoms import Atom
+from repro.mappings.parser import _parse_atom_list
+from repro.mappings.terms import Variable
+
+
+class QueryError(ReproError):
+    """The query is malformed (unsafe head, bad syntax, ...)."""
+
+
+@dataclass(frozen=True)
+class ConjunctiveQuery:
+    """``ans(head) <- body`` with set semantics."""
+
+    head: tuple[Variable, ...]
+    body: tuple[Atom, ...]
+    name: str = "ans"
+
+    def __post_init__(self) -> None:
+        body_vars = {v for a in self.body for v in a.variables}
+        missing = set(self.head) - body_vars
+        if missing:
+            raise QueryError(f"unsafe query: head variables {missing} not in body")
+        if not self.body:
+            raise QueryError("query body must not be empty")
+
+    @cached_property
+    def is_boolean(self) -> bool:
+        return not self.head
+
+    def __repr__(self) -> str:
+        head = ", ".join(v.name for v in self.head)
+        body = " & ".join(repr(a) for a in self.body)
+        return f"{self.name}({head}) <- {body}"
+
+
+def parse_query(text: str) -> ConjunctiveQuery:
+    """Parse the ``ans(X) <- r(X, Y)`` format."""
+    parts = text.split("<-")
+    if len(parts) != 2:
+        raise ParseError(f"query must contain exactly one '<-': {text!r}")
+    head_text, body_text = parts
+    head_atoms = _parse_atom_list(head_text, "query head")
+    if len(head_atoms) != 1:
+        raise ParseError("query head must be a single atom")
+    head_atom = head_atoms[0]
+    head_vars = []
+    for term in head_atom.terms:
+        if not isinstance(term, Variable):
+            raise ParseError(f"query head terms must be variables, got {term!r}")
+        head_vars.append(term)
+    return ConjunctiveQuery(
+        tuple(head_vars), _parse_atom_list(body_text, "query body"), head_atom.relation
+    )
+
+
+def evaluate(query: ConjunctiveQuery, instance: Instance) -> set[tuple[Value, ...]]:
+    """All (possibly null-containing) answers of *query* on *instance*."""
+    answers: set[tuple[Value, ...]] = set()
+    for assignment in match_body(query.body, instance):
+        answers.add(tuple(assignment[v] for v in query.head))
+    return answers
+
+
+def certain_answers(query: ConjunctiveQuery, instance: Instance) -> set[tuple[Value, ...]]:
+    """Null-free answers — the certain answers when *instance* is universal."""
+    return {a for a in evaluate(query, instance) if not any(is_null(v) for v in a)}
+
+
+def workload_for_schema(schema) -> list[ConjunctiveQuery]:
+    """A canonical query workload for a target schema.
+
+    One identity (full-projection) query per relation, plus one join query
+    per foreign key projecting the non-join attributes of both relations —
+    the queries a downstream consumer of the exchanged data would ask.
+    """
+    queries: list[ConjunctiveQuery] = []
+    for rel in schema.relations.values():
+        variables = tuple(Variable(f"X{i}") for i in range(rel.arity))
+        queries.append(
+            ConjunctiveQuery(variables, (Atom(rel.name, variables),), f"all_{rel.name}")
+        )
+    for fk in schema.foreign_keys:
+        source_rel = schema.get(fk.source)
+        target_rel = schema.get(fk.target)
+        source_terms: list[Variable] = []
+        for i, attr in enumerate(source_rel.attribute_names):
+            if attr in fk.source_attributes:
+                j = fk.source_attributes.index(attr)
+                source_terms.append(Variable(f"J{j}"))
+            else:
+                source_terms.append(Variable(f"S{i}"))
+        target_terms: list[Variable] = []
+        for i, attr in enumerate(target_rel.attribute_names):
+            if attr in fk.target_attributes:
+                j = fk.target_attributes.index(attr)
+                target_terms.append(Variable(f"J{j}"))
+            else:
+                target_terms.append(Variable(f"T{i}"))
+        head = tuple(
+            v
+            for v in (*source_terms, *target_terms)
+            if not v.name.startswith("J")
+        )
+        queries.append(
+            ConjunctiveQuery(
+                head,
+                (
+                    Atom(source_rel.name, tuple(source_terms)),
+                    Atom(target_rel.name, tuple(target_terms)),
+                ),
+                f"join_{fk.source}_{fk.target}",
+            )
+        )
+    return queries

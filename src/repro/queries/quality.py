@@ -1,0 +1,61 @@
+"""Query-level quality: certain-answer F1 over a workload.
+
+An alternative, consumer-centric view of exchange quality: instead of
+comparing tuples, compare the *certain answers* each instance yields for
+a workload of conjunctive queries.  Complements the tuple-level F1 of
+:mod:`repro.evaluation.metrics` — a mapping can score well on tuples yet
+lose join answers (or vice versa) when invented keys break joins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.datamodel.instance import Instance
+from repro.evaluation.metrics import PrecisionRecall
+from repro.evaluation.reporting import mean
+from repro.queries.cq import ConjunctiveQuery, certain_answers
+
+
+@dataclass(frozen=True)
+class QueryQuality:
+    """Per-query P/R plus the workload mean F1."""
+
+    per_query: tuple[tuple[str, PrecisionRecall], ...]
+
+    @property
+    def mean_f1(self) -> float:
+        return mean([pr.f1 for _, pr in self.per_query])
+
+
+def answer_precision_recall(
+    result: set, reference: set
+) -> PrecisionRecall:
+    """Set P/R with the empty-result conventions of the tuple metric."""
+    if not result:
+        return PrecisionRecall(1.0, 0.0 if reference else 1.0)
+    if not reference:
+        return PrecisionRecall(0.0, 1.0)
+    hits = len(result & reference)
+    return PrecisionRecall(hits / len(result), hits / len(reference))
+
+
+def query_quality(
+    result_instance: Instance,
+    reference_instance: Instance,
+    workload: Sequence[ConjunctiveQuery],
+) -> QueryQuality:
+    """Certain-answer P/R of *result_instance* per workload query."""
+    rows = []
+    for query in workload:
+        rows.append(
+            (
+                query.name,
+                answer_precision_recall(
+                    certain_answers(query, result_instance),
+                    certain_answers(query, reference_instance),
+                ),
+            )
+        )
+    return QueryQuality(tuple(rows))

@@ -1,0 +1,78 @@
+"""Mapping selection: objective, exact/greedy/collective solvers."""
+
+from repro.selection.baselines import (
+    select_all,
+    select_none,
+    select_top_k_coverage,
+    solve_independent,
+)
+from repro.selection.collective import (
+    CollectiveResult,
+    CollectiveSettings,
+    build_program,
+    solve_collective,
+)
+from repro.selection.exact import (
+    SelectionResult,
+    solve_branch_and_bound,
+    solve_exhaustive,
+)
+from repro.selection.greedy import solve_greedy
+from repro.selection.kbest import KBestResult, solve_k_best
+from repro.selection.metrics import SelectionProblem, build_selection_problem
+from repro.selection.sampling import SampledProblem, sample_selection_problem
+from repro.selection.weight_learning import (
+    LearningResult,
+    feature_vector,
+    learn_weights,
+    training_pairs_from_scenarios,
+)
+from repro.selection.preprocess import (
+    PreprocessResult,
+    drop_certain_unexplained,
+    drop_useless_candidates,
+    preprocess,
+)
+from repro.selection.objective import (
+    DEFAULT_WEIGHTS,
+    IncrementalObjective,
+    ObjectiveBreakdown,
+    ObjectiveWeights,
+    objective_breakdown,
+    objective_value,
+)
+
+__all__ = [
+    "CollectiveResult",
+    "CollectiveSettings",
+    "DEFAULT_WEIGHTS",
+    "IncrementalObjective",
+    "ObjectiveBreakdown",
+    "ObjectiveWeights",
+    "KBestResult",
+    "LearningResult",
+    "PreprocessResult",
+    "SampledProblem",
+    "SelectionProblem",
+    "SelectionResult",
+    "build_program",
+    "build_selection_problem",
+    "objective_breakdown",
+    "objective_value",
+    "drop_certain_unexplained",
+    "drop_useless_candidates",
+    "preprocess",
+    "feature_vector",
+    "learn_weights",
+    "sample_selection_problem",
+    "training_pairs_from_scenarios",
+    "select_all",
+    "select_none",
+    "select_top_k_coverage",
+    "solve_independent",
+    "solve_branch_and_bound",
+    "solve_collective",
+    "solve_exhaustive",
+    "solve_greedy",
+    "solve_k_best",
+]

@@ -1,0 +1,70 @@
+"""Naive baselines: select everything, select nothing, coverage top-k.
+
+These bracket the quality spectrum in the evaluation: *all candidates*
+maximizes recall of the exchanged data but pays for every spurious
+candidate the correspondence noise introduced, while *top-k by coverage*
+ignores errors and size entirely.
+"""
+
+from __future__ import annotations
+
+from repro.selection.exact import SelectionResult
+from repro.selection.metrics import SelectionProblem
+from repro.selection.objective import (
+    DEFAULT_WEIGHTS,
+    ObjectiveWeights,
+    objective_value,
+)
+
+
+def select_all(
+    problem: SelectionProblem,
+    weights: ObjectiveWeights = DEFAULT_WEIGHTS,
+) -> SelectionResult:
+    """The trivial baseline M = C."""
+    selected = frozenset(range(problem.num_candidates))
+    return SelectionResult(selected, objective_value(problem, selected, weights))
+
+
+def select_none(
+    problem: SelectionProblem,
+    weights: ObjectiveWeights = DEFAULT_WEIGHTS,
+) -> SelectionResult:
+    """The trivial baseline M = {} (the overfitting guard of the appendix)."""
+    return SelectionResult(frozenset(), objective_value(problem, [], weights))
+
+
+def solve_independent(
+    problem: SelectionProblem,
+    weights: ObjectiveWeights = DEFAULT_WEIGHTS,
+) -> SelectionResult:
+    """Per-candidate (non-collective) selection — the paper's strawman.
+
+    Each candidate is scored in isolation: include theta iff
+    ``F({theta}) < F({})``, i.e. its standalone coverage gain beats its
+    own errors plus size.  Because candidates are judged independently,
+    overlapping candidates double-count coverage they share — exactly the
+    failure mode the *collective* formulation exists to avoid.  The
+    returned objective is the true F of the resulting set.
+    """
+    baseline = objective_value(problem, [], weights)
+    selected = frozenset(
+        i
+        for i in range(problem.num_candidates)
+        if objective_value(problem, [i], weights) < baseline
+    )
+    return SelectionResult(selected, objective_value(problem, selected, weights))
+
+
+def select_top_k_coverage(
+    problem: SelectionProblem,
+    k: int,
+    weights: ObjectiveWeights = DEFAULT_WEIGHTS,
+) -> SelectionResult:
+    """Pick the k candidates with the largest total cover mass."""
+    ranked = sorted(
+        range(problem.num_candidates),
+        key=lambda i: (-sum(problem.covers[i].values()), i),
+    )
+    selected = frozenset(ranked[: max(0, k)])
+    return SelectionResult(selected, objective_value(problem, selected, weights))

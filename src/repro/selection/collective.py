@@ -1,0 +1,164 @@
+"""The collective, probabilistic mapping selector — the paper's method.
+
+The discrete objective F(M) of :mod:`repro.selection.objective` is relaxed
+into a hinge-loss MRF (the PSL MAP problem) over soft variables:
+
+* ``in(theta)`` in [0,1] — degree of membership of candidate theta in M;
+* ``explained(t)`` in [0,1] — degree to which example fact t is explained.
+
+Model (per Section V of the paper, arithmetic-rule formulation):
+
+====================  =====================================================
+coverage reward       ``w_expl * max(0, 1 - explained(t))`` for each t in J
+support cap (hard)    ``explained(t) <= sum_theta covers(theta,t)*in(theta)``
+error penalty         ``w_err * in(theta)`` per error fact theta creates
+size prior            ``w_size * size(theta) * in(theta)``
+====================  =====================================================
+
+All terms are jointly minimized by consensus ADMM — the *collective* part:
+candidates compete and cooperate through the shared ``explained`` atoms
+rather than being scored independently.  The fractional MAP state is then
+rounded (threshold sweep + 1-flip local search, both scored by the exact
+discrete F) into the final selection.
+
+Error facts shared by several candidates (possible for full tgds that
+produce identical ground facts) are mediated through an auxiliary
+``errorOf(t)`` variable so each error is paid once, matching the
+``sum over K_C - J`` of the objective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+
+from repro.datamodel.instance import Fact
+from repro.psl.admm import AdmmSettings
+from repro.psl.program import PslProgram
+from repro.psl.rounding import round_solution
+from repro.selection.exact import SelectionResult
+from repro.selection.metrics import SelectionProblem
+from repro.selection.objective import (
+    DEFAULT_WEIGHTS,
+    ObjectiveWeights,
+    objective_value,
+)
+
+
+@dataclass
+class CollectiveSettings:
+    """Knobs of the collective selector."""
+
+    weights: ObjectiveWeights = DEFAULT_WEIGHTS
+    admm: AdmmSettings = field(default_factory=AdmmSettings)
+    squared_hinges: bool = False
+    rounding_local_search: bool = True
+
+
+@dataclass(frozen=True)
+class CollectiveResult(SelectionResult):
+    """Selection plus the relaxation's fractional state and diagnostics."""
+
+    fractional: dict[int, float] = field(default_factory=dict)
+    iterations: int = 0
+    converged: bool = True
+    num_potentials: int = 0
+    num_constraints: int = 0
+
+
+def build_program(
+    problem: SelectionProblem,
+    settings: CollectiveSettings,
+) -> tuple[PslProgram, dict[int, object]]:
+    """Compile the selection problem into a PSL program.
+
+    Returns the program and the map from candidate index to its ``in``
+    atom, so callers can read the fractional memberships back.
+    """
+    weights = settings.weights
+    program = PslProgram()
+    in_map = program.predicate("inMap", 1, closed=False)
+    explained = program.predicate("explained", 1, closed=False)
+    error_of = program.predicate("errorOf", 1, closed=False)
+
+    in_atoms = {i: in_map(i) for i in range(problem.num_candidates)}
+    for atom in in_atoms.values():
+        program.target(atom)
+
+    squared = settings.squared_hinges
+
+    # Coverage: reward explained(t), capped by the selected covering mass.
+    coverers: dict[Fact, list[tuple[int, Fraction]]] = {}
+    for i, table in enumerate(problem.covers):
+        for t, degree in table.items():
+            coverers.setdefault(t, []).append((i, degree))
+    for t_idx, t in enumerate(problem.j_facts):
+        support = coverers.get(t)
+        if not support:
+            continue  # certain unexplained: constant w_expl, excluded from the MRF
+        atom = explained(t_idx)
+        program.target(atom)
+        program.add_raw_potential(
+            {atom: -1.0}, 1.0, float(weights.explains), squared
+        )
+        cap = {atom: 1.0}
+        for i, degree in support:
+            cap[in_atoms[i]] = -float(degree)
+        program.add_linear_constraint(cap, 0.0)
+
+    # Errors: one unit per distinct error fact, paid once even when shared.
+    owners: dict[Fact, list[int]] = {}
+    for i, facts in enumerate(problem.error_facts):
+        for f in facts:
+            owners.setdefault(f, []).append(i)
+    private_error_counts = [0] * problem.num_candidates
+    for e_idx, (f, who) in enumerate(sorted(owners.items(), key=lambda kv: repr(kv[0]))):
+        if len(who) == 1:
+            private_error_counts[who[0]] += 1
+        else:
+            atom = error_of(e_idx)
+            program.target(atom)
+            program.add_raw_potential({atom: 1.0}, 0.0, float(weights.errors), squared)
+            for i in who:
+                program.add_linear_constraint({in_atoms[i]: 1.0, atom: -1.0}, 0.0)
+
+    # Per-candidate priors: private errors + size.
+    for i in range(problem.num_candidates):
+        penalty = float(
+            weights.errors * private_error_counts[i]
+            + weights.size * problem.sizes[i]
+        )
+        if penalty > 0:
+            program.add_raw_potential({in_atoms[i]: 1.0}, 0.0, penalty, squared)
+
+    return program, in_atoms
+
+
+def solve_collective(
+    problem: SelectionProblem,
+    settings: CollectiveSettings | None = None,
+) -> CollectiveResult:
+    """Run the paper's pipeline: relax, infer with ADMM, round, score."""
+    settings = settings or CollectiveSettings()
+    program, in_atoms = build_program(problem, settings)
+    inference = program.infer(settings.admm)
+
+    fractional = {i: inference.truth(atom) for i, atom in in_atoms.items()}
+
+    def discrete_objective(selected: frozenset) -> Fraction:
+        return objective_value(problem, selected, settings.weights)
+
+    selected = round_solution(
+        fractional,
+        discrete_objective,
+        with_local_search=settings.rounding_local_search,
+    )
+    return CollectiveResult(
+        selected=frozenset(selected),
+        objective=discrete_objective(frozenset(selected)),
+        fractional=fractional,
+        iterations=inference.admm.iterations,
+        converged=inference.converged,
+        num_potentials=inference.num_potentials,
+        num_constraints=inference.num_constraints,
+    )

@@ -1,0 +1,136 @@
+"""Precomputed metric tables for mapping selection.
+
+Selecting a mapping only needs three ingredients per candidate theta:
+
+* ``covers[(i, t)]`` — the graded degree to which candidate i explains
+  target-example fact t (only non-zero entries are stored);
+* the set of *error facts* candidate i creates (chase facts with no
+  homomorphic image in J);
+* ``size(theta_i)``.
+
+:func:`build_selection_problem` chases the source once per candidate with
+a shared null factory and evaluates the homomorphism-based semantics of
+:mod:`repro.homomorphism.covers`.  All downstream solvers (exact, greedy,
+collective/PSL) consume the resulting :class:`SelectionProblem`, so they
+optimize exactly the same objective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Iterable, Sequence
+
+from repro.chase.engine import chase
+from repro.datamodel.instance import Fact, Instance
+from repro.datamodel.values import NullFactory
+from repro.errors import SelectionError
+from repro.homomorphism.covers import CoverComputer, creates
+from repro.mappings.tgd import StTgd
+
+
+@dataclass
+class SelectionProblem:
+    """A fully materialized instance of the mapping-selection problem.
+
+    Attributes:
+        candidates: the candidate st tgds, index-addressed everywhere else.
+        source: the source instance I.
+        target: the target example J.
+        j_facts: J's facts in a fixed order.
+        covers: ``covers[i][t]`` — non-zero cover degrees of candidate i.
+        error_facts: per candidate, the chase facts flagged as errors.
+        sizes: per candidate, the paper's size measure.
+        chase_by_candidate: per candidate, its canonical chase instance.
+    """
+
+    candidates: list[StTgd]
+    source: Instance
+    target: Instance
+    j_facts: list[Fact]
+    covers: list[dict[Fact, Fraction]]
+    error_facts: list[frozenset[Fact]]
+    sizes: list[int]
+    chase_by_candidate: list[Instance] = field(default_factory=list)
+
+    @property
+    def num_candidates(self) -> int:
+        return len(self.candidates)
+
+    def max_cover(self, t: Fact, selected: Iterable[int]) -> Fraction:
+        """explains(M, t): best cover of t over the selected candidates."""
+        best = Fraction(0)
+        for i in selected:
+            d = self.covers[i].get(t)
+            if d is not None and d > best:
+                best = d
+                if best == 1:
+                    break
+        return best
+
+    def union_error_facts(self, selected: Iterable[int]) -> set[Fact]:
+        """Distinct error facts created by the selected candidates.
+
+        Facts with labeled nulls are private to one candidate by
+        construction (fresh nulls per chase), while ground facts produced
+        by several full tgds coincide and are counted once — matching the
+        sum over K_C - J in the objective.
+        """
+        union: set[Fact] = set()
+        for i in selected:
+            union.update(self.error_facts[i])
+        return union
+
+    def coverable_facts(self) -> set[Fact]:
+        """J-facts covered (to any degree) by at least one candidate."""
+        coverable: set[Fact] = set()
+        for table in self.covers:
+            coverable.update(table)
+        return coverable
+
+    def certain_unexplained(self) -> list[Fact]:
+        """J-facts no candidate covers at all.
+
+        These contribute a constant ``w_explains`` each to every selection's
+        objective and can be removed prior to optimization (Section III-C).
+        """
+        coverable = self.coverable_facts()
+        return [t for t in self.j_facts if t not in coverable]
+
+
+def build_selection_problem(
+    source: Instance,
+    target: Instance,
+    candidates: Sequence[StTgd],
+) -> SelectionProblem:
+    """Chase each candidate and materialize covers/creates/size tables."""
+    if not all(isinstance(c, StTgd) for c in candidates):
+        raise SelectionError("candidates must be StTgd objects")
+    factory = NullFactory()
+    covers_tables: list[dict[Fact, Fraction]] = []
+    error_sets: list[frozenset[Fact]] = []
+    chases: list[Instance] = []
+    j_facts = sorted(target, key=repr)
+
+    for candidate in candidates:
+        k_theta = chase(source, [candidate], factory).by_tgd[candidate]
+        chases.append(k_theta)
+        computer = CoverComputer(k_theta, target)
+        table: dict[Fact, Fraction] = {}
+        for t in j_facts:
+            degree = computer.degree(t)
+            if degree > 0:
+                table[t] = degree
+        covers_tables.append(table)
+        error_sets.append(frozenset(f for f in k_theta if creates(f, target)))
+
+    return SelectionProblem(
+        candidates=list(candidates),
+        source=source,
+        target=target,
+        j_facts=j_facts,
+        covers=covers_tables,
+        error_facts=error_sets,
+        sizes=[c.size for c in candidates],
+        chase_by_candidate=chases,
+    )

@@ -1,0 +1,116 @@
+"""Learning objective weights from solved scenarios.
+
+The paper fixes the three objective weights at 1 and names weight
+learning as the natural extension (the PSL framework supports it).  This
+module implements the standard **structured perceptron** for the linear
+objective F_w(M) = w · Phi(M) with the feature vector::
+
+    Phi(M) = ( sum_t 1 - explains(M,t),   # unexplained mass
+               |errors(M)|,               # error count
+               sum_{theta in M} size(theta) )
+
+Training pairs are (selection problem, gold selection).  Each epoch runs
+inference (any solver) under the current weights; whenever the predicted
+selection beats the gold selection's own score, the weights move toward
+making the gold cheaper::
+
+    w  <-  w + eta * (Phi(prediction) - Phi(gold))
+
+clipped to stay strictly positive (the NP-hardness construction and the
+objective's semantics both assume positive weights).  Averaged weights
+over all updates are returned (averaged perceptron), which stabilizes
+convergence on small training sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, Sequence
+
+from repro.selection.exact import SelectionResult
+from repro.selection.greedy import solve_greedy
+from repro.selection.metrics import SelectionProblem
+from repro.selection.objective import ObjectiveWeights, objective_breakdown
+
+Solver = Callable[[SelectionProblem, ObjectiveWeights], SelectionResult]
+
+
+def feature_vector(
+    problem: SelectionProblem, selected: frozenset[int]
+) -> tuple[Fraction, Fraction, Fraction]:
+    """Phi(M): (unexplained mass, error count, total size) — weight-free."""
+    unit = ObjectiveWeights()
+    b = objective_breakdown(problem, selected, unit)
+    return (b.unexplained, b.errors, b.size)
+
+
+@dataclass
+class LearningResult:
+    """Learned weights plus the per-epoch mistake counts."""
+
+    weights: ObjectiveWeights
+    mistakes_per_epoch: list[int]
+
+    @property
+    def converged(self) -> bool:
+        return bool(self.mistakes_per_epoch) and self.mistakes_per_epoch[-1] == 0
+
+
+def learn_weights(
+    training: Sequence[tuple[SelectionProblem, frozenset[int]]],
+    epochs: int = 10,
+    learning_rate: float = 0.1,
+    solver: Solver = solve_greedy,
+    initial: ObjectiveWeights | None = None,
+    minimum_weight: Fraction = Fraction(1, 100),
+) -> LearningResult:
+    """Averaged structured perceptron over (problem, gold selection) pairs."""
+    eta = Fraction(learning_rate).limit_denominator(10_000)
+    floor = Fraction(minimum_weight)
+    start = initial or ObjectiveWeights()
+    current = [start.explains, start.errors, start.size]
+    accumulated = [Fraction(0)] * 3
+    accumulation_steps = 0
+    mistakes_per_epoch: list[int] = []
+
+    for _ in range(epochs):
+        mistakes = 0
+        for problem, gold in training:
+            weights = ObjectiveWeights(*current)
+            predicted = solver(problem, weights).selected
+            if predicted == gold:
+                continue
+            phi_predicted = feature_vector(problem, predicted)
+            phi_gold = feature_vector(problem, gold)
+            gold_score = sum(w * f for w, f in zip(current, phi_gold))
+            predicted_score = sum(w * f for w, f in zip(current, phi_predicted))
+            if gold_score <= predicted_score:
+                continue  # gold already (weakly) preferred; rounding noise only
+            mistakes += 1
+            current = [
+                max(floor, w + eta * (fp - fg))
+                for w, fp, fg in zip(current, phi_predicted, phi_gold)
+            ]
+        for i in range(3):
+            accumulated[i] += current[i]
+        accumulation_steps += 1
+        mistakes_per_epoch.append(mistakes)
+        if mistakes == 0:
+            break
+
+    if mistakes_per_epoch and mistakes_per_epoch[-1] == 0:
+        # Converged: the final weights separate every training pair; prefer
+        # them over the average (which still mixes in early, wrong epochs).
+        final = current
+    else:
+        final = [a / accumulation_steps for a in accumulated]
+    return LearningResult(ObjectiveWeights(*final), mistakes_per_epoch)
+
+
+def training_pairs_from_scenarios(scenarios) -> list[tuple[SelectionProblem, frozenset[int]]]:
+    """Build (problem, gold selection) pairs from generated scenarios."""
+    return [
+        (scenario.selection_problem(), frozenset(scenario.gold_indices))
+        for scenario in scenarios
+    ]

@@ -1,0 +1,17 @@
+"""Executable complexity results (Theorem 1's SET COVER reduction)."""
+
+from repro.theory.set_cover_reduction import (
+    ReducedProblem,
+    SetCoverInstance,
+    decide_set_cover_directly,
+    decide_set_cover_via_selection,
+    reduce_set_cover,
+)
+
+__all__ = [
+    "ReducedProblem",
+    "SetCoverInstance",
+    "decide_set_cover_directly",
+    "decide_set_cover_via_selection",
+    "reduce_set_cover",
+]

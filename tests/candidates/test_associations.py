@@ -1,0 +1,82 @@
+"""Unit tests for logical associations."""
+
+from repro.candidates.associations import logical_associations
+from repro.datamodel.schema import ForeignKey, Schema, relation
+from repro.mappings.terms import Variable
+
+
+def _vp_target_schema() -> Schema:
+    s = Schema("T")
+    s.add(relation("t1", "a", "f"))
+    s.add(relation("t2", "f", "b", key=("f",)))
+    s.add_foreign_key(ForeignKey("t1", ("f",), "t2", ("f",)))
+    return s
+
+
+def test_relation_without_fks_is_its_own_association():
+    s = Schema("S")
+    s.add(relation("r", "a"))
+    assocs = logical_associations(s)
+    assert len(assocs) == 1
+    assert assocs[0].relations == frozenset({"r"})
+    assert assocs[0].joins == ()
+
+
+def test_fk_closure_includes_referenced_parent():
+    assocs = logical_associations(_vp_target_schema())
+    by_root = {a.root: a for a in assocs}
+    assert by_root["t1"].relations == frozenset({"t1", "t2"})
+    assert by_root["t2"].relations == frozenset({"t2"})
+
+
+def test_transitive_closure():
+    s = Schema("S")
+    s.add(relation("a", "x"))
+    s.add(relation("b", "x", "y"))
+    s.add(relation("c", "y", "z"))
+    s.add_foreign_key(ForeignKey("c", ("y",), "b", ("y",)))
+    s.add_foreign_key(ForeignKey("b", ("x",), "a", ("x",)))
+    by_root = {a.root: a for a in logical_associations(s)}
+    assert by_root["c"].relations == frozenset({"a", "b", "c"})
+    assert by_root["b"].relations == frozenset({"a", "b"})
+
+
+def test_vnm_bridge_association():
+    s = Schema("T")
+    s.add(relation("t1", "a", "f", key=("f",)))
+    s.add(relation("t2", "g", "b", key=("g",)))
+    s.add(relation("m", "f", "g"))
+    s.add_foreign_key(ForeignKey("m", ("f",), "t1", ("f",)))
+    s.add_foreign_key(ForeignKey("m", ("g",), "t2", ("g",)))
+    by_root = {a.root: a for a in logical_associations(s)}
+    assert by_root["m"].relations == frozenset({"m", "t1", "t2"})
+
+
+def test_atoms_share_variables_across_joins():
+    assocs = logical_associations(_vp_target_schema())
+    assoc = next(a for a in assocs if a.root == "t1")
+    atoms = assoc.atoms(_vp_target_schema())
+    t1_f = atoms["t1"].terms[1]
+    t2_f = atoms["t2"].terms[0]
+    assert isinstance(t1_f, Variable)
+    assert t1_f == t2_f  # join-unified
+    assert atoms["t1"].terms[0] != atoms["t2"].terms[1]
+
+
+def test_atoms_prefix_isolates_variable_namespaces():
+    assocs = logical_associations(_vp_target_schema())
+    assoc = next(a for a in assocs if a.root == "t1")
+    plain = assoc.atoms(_vp_target_schema())
+    prefixed = assoc.atoms(_vp_target_schema(), prefix="q_")
+    assert all(
+        t.name.startswith("q_") for a in prefixed.values() for t in a.variables
+    )
+    assert plain != prefixed
+
+
+def test_duplicate_associations_deduplicated():
+    # Two relations with identical closure sets appear once.
+    s = Schema("S")
+    s.add(relation("r", "a"))
+    r_assocs = [a for a in logical_associations(s) if a.relations == frozenset({"r"})]
+    assert len(r_assocs) == 1

@@ -1,0 +1,135 @@
+"""Unit tests for Clio-style candidate generation."""
+
+import pytest
+
+from repro.candidates.cliogen import generate_candidates
+from repro.candidates.correspondence import Correspondence
+from repro.datamodel.schema import ForeignKey, Schema, relation
+from repro.errors import SchemaError
+from repro.mappings.parser import parse_tgd
+
+
+def _copy_schemas():
+    source, target = Schema("S"), Schema("T")
+    source.add(relation("s", "a", "b"))
+    target.add(relation("t", "x", "y"))
+    return source, target
+
+
+def test_simple_copy_candidate():
+    source, target = _copy_schemas()
+    correspondences = [
+        Correspondence("s", "a", "t", "x"),
+        Correspondence("s", "b", "t", "y"),
+    ]
+    candidates = generate_candidates(source, target, correspondences)
+    assert len(candidates) == 1
+    expected = parse_tgd("s(A, B) -> t(A, B)").canonical()
+    assert candidates[0].canonical() == expected
+
+
+def test_partial_correspondence_leaves_existential():
+    source, target = _copy_schemas()
+    candidates = generate_candidates(source, target, [Correspondence("s", "a", "t", "x")])
+    assert len(candidates) == 1
+    tgd = candidates[0]
+    assert len(tgd.existential_variables) == 1
+
+
+def test_no_correspondence_no_candidates():
+    source, target = _copy_schemas()
+    assert generate_candidates(source, target, []) == []
+
+
+def test_invalid_correspondence_rejected():
+    source, target = _copy_schemas()
+    with pytest.raises(SchemaError):
+        generate_candidates(source, target, [Correspondence("s", "zzz", "t", "x")])
+
+
+def test_vp_association_generates_joined_head():
+    source, target = Schema("S"), Schema("T")
+    source.add(relation("s", "a", "b"))
+    target.add(relation("t1", "a", "f"))
+    target.add(relation("t2", "f", "b", key=("f",)))
+    target.add_foreign_key(ForeignKey("t1", ("f",), "t2", ("f",)))
+    correspondences = [
+        Correspondence("s", "a", "t1", "a"),
+        Correspondence("s", "b", "t2", "b"),
+    ]
+    candidates = generate_candidates(source, target, correspondences)
+    canonicals = {c.canonical() for c in candidates}
+    gold = parse_tgd("s(A, B) -> t1(A, F) & t2(F, B)").canonical()
+    assert gold in canonicals
+    # The t2-only association also yields a smaller candidate.
+    partial = parse_tgd("s(A, B) -> t2(F, B)").canonical()
+    assert partial in canonicals
+
+
+def test_me_association_generates_joined_body():
+    source, target = Schema("S"), Schema("T")
+    source.add(relation("s1", "k", "a", key=("k",)))
+    source.add(relation("s2", "k", "b"))
+    source.add_foreign_key(ForeignKey("s2", ("k",), "s1", ("k",)))
+    target.add(relation("t", "k", "a", "b"))
+    correspondences = [
+        Correspondence("s1", "k", "t", "k"),
+        Correspondence("s1", "a", "t", "a"),
+        Correspondence("s2", "b", "t", "b"),
+    ]
+    candidates = generate_candidates(source, target, correspondences)
+    canonicals = {c.canonical() for c in candidates}
+    gold = parse_tgd("s1(K, A) & s2(K, B) -> t(K, A, B)").canonical()
+    assert gold in canonicals
+
+
+def test_conflicting_correspondences_generate_variants():
+    source, target = Schema("S"), Schema("T")
+    source.add(relation("s", "a", "b"))
+    target.add(relation("t", "x"))
+    correspondences = [
+        Correspondence("s", "a", "t", "x"),
+        Correspondence("s", "b", "t", "x"),
+    ]
+    candidates = generate_candidates(source, target, correspondences)
+    canonicals = {c.canonical() for c in candidates}
+    assert parse_tgd("s(A, B) -> t(A)").canonical() in canonicals
+    assert parse_tgd("s(A, B) -> t(B)").canonical() in canonicals
+
+
+def test_variant_cap_limits_explosion():
+    source, target = Schema("S"), Schema("T")
+    source.add(relation("s", *[f"a{i}" for i in range(4)]))
+    target.add(relation("t", *[f"x{i}" for i in range(4)]))
+    correspondences = [
+        Correspondence("s", f"a{i}", "t", f"x{j}")
+        for i in range(4)
+        for j in range(4)
+    ]
+    candidates = generate_candidates(source, target, correspondences, variant_cap=5)
+    assert len(candidates) <= 5
+
+
+def test_duplicate_candidates_deduplicated():
+    source, target = _copy_schemas()
+    correspondences = [
+        Correspondence("s", "a", "t", "x"),
+        Correspondence("s", "a", "t", "x"),  # duplicate correspondence
+    ]
+    assert len(generate_candidates(source, target, correspondences)) == 1
+
+
+def test_unrelated_relations_do_not_mix():
+    source, target = Schema("S"), Schema("T")
+    source.add(relation("s1", "a"))
+    source.add(relation("s2", "b"))
+    target.add(relation("t1", "x"))
+    target.add(relation("t2", "y"))
+    correspondences = [
+        Correspondence("s1", "a", "t1", "x"),
+        Correspondence("s2", "b", "t2", "y"),
+    ]
+    candidates = generate_candidates(source, target, correspondences)
+    assert len(candidates) == 2
+    for c in candidates:
+        assert len(c.body) == 1 and len(c.head) == 1

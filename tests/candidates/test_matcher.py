@@ -1,0 +1,92 @@
+"""Unit tests for the name-similarity schema matcher."""
+
+import pytest
+
+from repro.candidates.matcher import (
+    correspondences_from_names,
+    jaccard,
+    match_schemas,
+    name_similarity,
+    ngrams,
+)
+from repro.datamodel.schema import Schema, relation
+
+
+def test_ngrams_padding_and_case():
+    assert ngrams("a") == {"^a$"}
+    assert ngrams("ab") == {"^ab", "ab$"}
+    assert ngrams("ABC") == ngrams("abc")
+    assert "^na" in ngrams("name")
+
+
+def test_jaccard_bounds():
+    a, b = ngrams("passenger"), ngrams("passenger")
+    assert jaccard(a, b) == 1.0
+    assert jaccard(a, ngrams("zzzz")) < 0.2
+    assert jaccard(frozenset(), frozenset()) == 1.0
+
+
+def test_identical_names_score_highest():
+    same = name_similarity("booking", "ref", "ticket", "ref")
+    different = name_similarity("booking", "ref", "ticket", "origin")
+    assert same > different
+
+
+def test_relation_context_breaks_ties():
+    near = name_similarity("member", "tier", "member", "tier")
+    far = name_similarity("loyalty", "tier", "member", "tier")
+    assert near > far
+
+
+def _schemas():
+    source, target = Schema("S"), Schema("T")
+    source.add(relation("booking", "ref", "passenger"))
+    target.add(relation("ticket", "ref", "passenger_name"))
+    target.add(relation("flight", "flightno"))
+    return source, target
+
+
+def test_match_schemas_finds_obvious_pairs():
+    source, target = _schemas()
+    scored = match_schemas(source, target, threshold=0.4)
+    pairs = {
+        (s.correspondence.source_attribute, s.correspondence.target_attribute)
+        for s in scored
+    }
+    assert ("ref", "ref") in pairs
+    assert ("passenger", "passenger_name") in pairs
+
+
+def test_match_schemas_sorted_by_score():
+    source, target = _schemas()
+    scored = match_schemas(source, target, threshold=0.0)
+    assert all(
+        scored[i].score >= scored[i + 1].score for i in range(len(scored) - 1)
+    )
+
+
+def test_threshold_filters():
+    source, target = _schemas()
+    loose = match_schemas(source, target, threshold=0.1)
+    strict = match_schemas(source, target, threshold=0.8)
+    assert len(strict) < len(loose)
+
+
+def test_correspondences_are_schema_valid():
+    from repro.candidates.correspondence import validate_correspondences
+
+    source, target = _schemas()
+    correspondences = correspondences_from_names(source, target, threshold=0.3)
+    validate_correspondences(correspondences, source, target)
+    assert correspondences
+
+
+def test_matcher_feeds_candidate_generation():
+    from repro.candidates.cliogen import generate_candidates
+
+    source, target = _schemas()
+    correspondences = correspondences_from_names(source, target, threshold=0.5)
+    candidates = generate_candidates(source, target, correspondences)
+    assert candidates
+    relations = {r for c in candidates for r in c.target_relations()}
+    assert "ticket" in relations

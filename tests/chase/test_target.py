@@ -1,0 +1,153 @@
+"""Tests for the target-dependency chase (key egds + FK tgds)."""
+
+import pytest
+
+from repro.chase.target import chase_target, violates_keys
+from repro.datamodel.instance import Instance, fact
+from repro.datamodel.schema import ForeignKey, Schema, relation
+from repro.datamodel.values import LabeledNull, NullFactory
+
+N1, N2, N3 = LabeledNull(1), LabeledNull(2), LabeledNull(3)
+
+
+def _schema_with_key():
+    schema = Schema("T")
+    schema.add(relation("org", "oid", "company", key=("oid",)))
+    return schema
+
+
+def test_egd_unifies_null_with_constant():
+    schema = _schema_with_key()
+    inst = Instance([fact("org", 1, "SAP"), fact("org", 1, N1)])
+    result = chase_target(inst, schema)
+    assert not result.failed
+    assert set(result.instance) == {fact("org", 1, "SAP")}
+    assert result.unifications == 1
+
+
+def test_egd_unifies_null_with_null():
+    schema = _schema_with_key()
+    inst = Instance([fact("org", 1, N1), fact("org", 1, N2)])
+    result = chase_target(inst, schema)
+    assert not result.failed
+    assert len(result.instance) == 1
+
+
+def test_egd_constant_conflict_fails():
+    schema = _schema_with_key()
+    inst = Instance([fact("org", 1, "SAP"), fact("org", 1, "IBM")])
+    result = chase_target(inst, schema)
+    assert result.failed
+    assert result.conflict is not None
+
+
+def test_null_keys_do_not_trigger_egd():
+    schema = _schema_with_key()
+    inst = Instance([fact("org", N1, "SAP"), fact("org", N2, "IBM")])
+    result = chase_target(inst, schema)
+    assert not result.failed
+    assert len(result.instance) == 2
+
+
+def test_unification_propagates_across_facts():
+    # Unifying N1 with a constant in org must rewrite task facts using N1.
+    schema = Schema("T")
+    schema.add(relation("org", "oid", "company", key=("oid",)))
+    schema.add(relation("task", "pname", "oid"))
+    inst = Instance(
+        [
+            fact("org", 1, "SAP"),
+            fact("org", 1, N1),
+            fact("task", "ML", N1),
+        ]
+    )
+    result = chase_target(inst, schema)
+    assert not result.failed
+    # N1 unified with "SAP"; the task fact now references the constant.
+    assert fact("task", "ML", "SAP") in result.instance
+
+
+def test_fk_invents_missing_parent():
+    schema = Schema("T")
+    schema.add(relation("task", "pname", "oid"))
+    schema.add(relation("org", "oid", "company", key=("oid",)))
+    schema.add_foreign_key(ForeignKey("task", ("oid",), "org", ("oid",)))
+    inst = Instance([fact("task", "ML", 111)])
+    result = chase_target(inst, schema, NullFactory(100))
+    assert not result.failed
+    assert len(result.invented) == 1
+    parent = result.invented[0]
+    assert parent.relation == "org"
+    assert parent.values[0].value == 111
+    assert parent.values[1] == LabeledNull(100)
+
+
+def test_fk_satisfied_parent_not_duplicated():
+    schema = Schema("T")
+    schema.add(relation("task", "pname", "oid"))
+    schema.add(relation("org", "oid", "company", key=("oid",)))
+    schema.add_foreign_key(ForeignKey("task", ("oid",), "org", ("oid",)))
+    inst = Instance([fact("task", "ML", 111), fact("org", 111, "SAP")])
+    result = chase_target(inst, schema)
+    assert result.invented == []
+    assert len(result.instance) == 2
+
+
+def test_fk_then_egd_interaction():
+    # Inventing a parent for key 1, then a real parent with key 1 appears
+    # in the instance: the egd must merge them.
+    schema = Schema("T")
+    schema.add(relation("task", "pname", "oid"))
+    schema.add(relation("org", "oid", "company", key=("oid",)))
+    schema.add_foreign_key(ForeignKey("task", ("oid",), "org", ("oid",)))
+    inst = Instance(
+        [fact("task", "ML", 1), fact("org", 1, "SAP")]
+    )
+    result = chase_target(inst, schema)
+    assert not result.failed
+    assert len(result.instance.facts_of("org")) == 1
+
+
+def test_chase_on_st_exchange_output():
+    """End to end: st chase output repaired against target constraints."""
+    from repro.chase.engine import chase
+    from repro.mappings.parser import parse_tgds
+
+    source = Instance(
+        [fact("proj", "ML", "Alice", "SAP"), fact("proj", "Vision", "Bob", "SAP")]
+    )
+    tgds = parse_tgds("proj(P, E, C) -> task(P, O) & org(O, C)")
+    exchanged = chase(source, tgds).instance
+
+    schema = Schema("T")
+    schema.add(relation("task", "pname", "oid"))
+    schema.add(relation("org", "oid", "company", key=("oid",)))
+    schema.add_foreign_key(ForeignKey("task", ("oid",), "org", ("oid",)))
+    result = chase_target(exchanged, schema)
+    assert not result.failed
+    # Two distinct org nulls remain (null keys don't merge), FKs satisfied.
+    assert len(result.instance.facts_of("org")) == 2
+    assert not violates_keys(result.instance, schema)
+
+
+def test_violates_keys():
+    schema = _schema_with_key()
+    assert violates_keys(
+        Instance([fact("org", 1, "a"), fact("org", 1, "b")]), schema
+    )
+    assert not violates_keys(
+        Instance([fact("org", 1, "a"), fact("org", 2, "b")]), schema
+    )
+    # facts not in schema are ignored
+    assert not violates_keys(Instance([fact("zzz", 1)]), schema)
+
+
+def test_generated_scenario_reference_respects_constraints():
+    """The grounded gold exchange of generated scenarios is key-consistent."""
+    from repro.ibench.config import ScenarioConfig
+    from repro.ibench.generator import generate_scenario
+
+    for seed in (1, 2):
+        scenario = generate_scenario(ScenarioConfig(num_primitives=4, seed=seed))
+        result = chase_target(scenario.reference_target, scenario.target_schema)
+        assert not result.failed

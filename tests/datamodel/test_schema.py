@@ -1,0 +1,81 @@
+"""Unit tests for relations, schemas, and foreign keys."""
+
+import pytest
+
+from repro.datamodel.schema import Attribute, ForeignKey, Relation, Schema, relation
+from repro.errors import SchemaError
+
+
+def test_relation_constructor_helper():
+    r = relation("task", "pname", "emp", "oid")
+    assert r.name == "task"
+    assert r.arity == 3
+    assert r.attribute_names == ("pname", "emp", "oid")
+
+
+def test_relation_rejects_duplicate_attributes():
+    with pytest.raises(SchemaError):
+        relation("r", "a", "a")
+
+
+def test_relation_key_must_exist():
+    with pytest.raises(SchemaError):
+        Relation("r", (Attribute("a"),), key=("b",))
+
+
+def test_position_of():
+    r = relation("r", "x", "y", "z")
+    assert r.position_of("y") == 1
+    with pytest.raises(SchemaError):
+        r.position_of("w")
+
+
+def test_schema_add_and_get():
+    s = Schema("S")
+    r = s.add(relation("r", "a"))
+    assert s.get("r") is r
+    assert "r" in s
+    assert "q" not in s
+    assert len(s) == 1
+
+
+def test_schema_rejects_duplicate_relation():
+    s = Schema("S")
+    s.add(relation("r", "a"))
+    with pytest.raises(SchemaError):
+        s.add(relation("r", "b"))
+
+
+def test_schema_get_unknown_raises():
+    with pytest.raises(SchemaError):
+        Schema("S").get("nope")
+
+
+def test_foreign_key_validation_on_add():
+    s = Schema("S")
+    s.add(relation("child", "pid", "v"))
+    s.add(relation("parent", "pid", key=("pid",)))
+    fk = s.add_foreign_key(ForeignKey("child", ("pid",), "parent", ("pid",)))
+    assert fk in s.foreign_keys
+
+
+def test_foreign_key_unknown_attribute_rejected():
+    s = Schema("S")
+    s.add(relation("child", "pid"))
+    s.add(relation("parent", "pid"))
+    with pytest.raises(SchemaError):
+        s.add_foreign_key(ForeignKey("child", ("nope",), "parent", ("pid",)))
+
+
+def test_foreign_key_mismatched_lengths_rejected():
+    with pytest.raises(SchemaError):
+        ForeignKey("a", ("x", "y"), "b", ("z",))
+
+
+def test_foreign_key_empty_attributes_rejected():
+    with pytest.raises(SchemaError):
+        ForeignKey("a", (), "b", ())
+
+
+def test_relation_repr_lists_columns():
+    assert repr(relation("org", "oid", "company")) == "org(oid, company)"

@@ -1,0 +1,76 @@
+"""Unit tests for constants, labeled nulls, and the null factory."""
+
+import pytest
+
+from repro.datamodel.values import (
+    Constant,
+    LabeledNull,
+    NullFactory,
+    constants_in,
+    is_constant,
+    is_null,
+    nulls_in,
+)
+
+
+def test_constants_compare_by_value():
+    assert Constant("a") == Constant("a")
+    assert Constant("a") != Constant("b")
+    assert Constant(1) != Constant("1")
+
+
+def test_nulls_compare_by_label():
+    assert LabeledNull(0) == LabeledNull(0)
+    assert LabeledNull(0) != LabeledNull(1)
+
+
+def test_constant_and_null_never_equal():
+    assert Constant(0) != LabeledNull(0)
+
+
+def test_is_null_and_is_constant():
+    assert is_null(LabeledNull(3))
+    assert not is_null(Constant(3))
+    assert is_constant(Constant("x"))
+    assert not is_constant(LabeledNull(1))
+
+
+def test_values_are_hashable():
+    s = {Constant("a"), LabeledNull(1), Constant("a")}
+    assert len(s) == 2
+
+
+def test_null_factory_produces_distinct_labels():
+    factory = NullFactory()
+    produced = [factory.fresh() for _ in range(100)]
+    assert len(set(produced)) == 100
+
+
+def test_null_factory_start_offset():
+    factory = NullFactory(start=42)
+    assert factory.fresh() == LabeledNull(42)
+    assert factory.fresh() == LabeledNull(43)
+
+
+def test_null_factory_fresh_many():
+    factory = NullFactory()
+    batch = factory.fresh_many(5)
+    assert len(batch) == 5
+    assert len(set(batch)) == 5
+
+
+def test_two_factories_collide_without_offset():
+    # Documents why chase runs must share a factory.
+    a, b = NullFactory(), NullFactory()
+    assert a.fresh() == b.fresh()
+
+
+def test_constants_in_and_nulls_in():
+    values = [Constant(1), LabeledNull(1), Constant(2), LabeledNull(1)]
+    assert constants_in(values) == {Constant(1), Constant(2)}
+    assert nulls_in(values) == {LabeledNull(1)}
+
+
+def test_repr_forms():
+    assert repr(LabeledNull(7)) == "N7"
+    assert repr(Constant("SAP")) == "SAP"

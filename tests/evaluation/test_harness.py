@@ -1,0 +1,71 @@
+"""Tests for the experiment harness and reporting utilities."""
+
+import pytest
+
+from repro.evaluation.harness import DEFAULT_METHODS, exact_method, run_methods
+from repro.evaluation.reporting import format_table, mean
+from repro.ibench.config import ScenarioConfig
+from repro.ibench.generator import generate_scenario
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return generate_scenario(
+        ScenarioConfig(num_primitives=3, seed=21, rows_per_relation=8, pi_corresp=50)
+    )
+
+
+def test_run_methods_covers_all_defaults_plus_gold(scenario):
+    runs = run_methods(scenario)
+    names = [r.method for r in runs]
+    assert set(DEFAULT_METHODS) <= set(names)
+    assert "gold" in names
+
+
+def test_gold_row_has_perfect_data_quality(scenario):
+    runs = {r.method: r for r in run_methods(scenario)}
+    assert runs["gold"].data.f1 == pytest.approx(1.0)
+    assert runs["gold"].mapping.f1 == pytest.approx(1.0)
+
+
+def test_collective_beats_all_candidates_objective(scenario):
+    runs = {r.method: r for r in run_methods(scenario)}
+    assert runs["collective"].objective <= runs["all-candidates"].objective
+
+
+def test_custom_method_dict(scenario):
+    runs = run_methods(scenario, methods={"exact": exact_method}, include_gold=False)
+    assert [r.method for r in runs] == ["exact"]
+    # The exact objective lower-bounds every other method's.
+    default_runs = run_methods(scenario, include_gold=False)
+    assert all(runs[0].objective <= r.objective for r in default_runs)
+
+
+def test_problem_can_be_shared(scenario):
+    problem = scenario.selection_problem()
+    a = run_methods(scenario, problem=problem, include_gold=False)
+    b = run_methods(scenario, problem=problem, include_gold=False)
+    assert [r.selected for r in a] == [r.selected for r in b]
+
+
+def test_method_run_row_format(scenario):
+    run = run_methods(scenario, include_gold=False)[0]
+    text = run.row()
+    assert "F1=" in text and "|M|=" in text
+
+
+def test_format_table_alignment():
+    table = format_table(
+        ["name", "value"],
+        [["x", 1.23456], ["longer-name", 7]],
+        title="demo",
+    )
+    lines = table.splitlines()
+    assert lines[0] == "demo"
+    assert "1.235" in table
+    assert len(lines) == 5  # title, header, separator, two rows
+
+
+def test_mean():
+    assert mean([1.0, 2.0, 3.0]) == 2.0
+    assert mean([]) == 0.0

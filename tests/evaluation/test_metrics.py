@@ -1,0 +1,98 @@
+"""Unit tests for evaluation metrics."""
+
+import pytest
+
+from repro.datamodel.instance import Instance, fact
+from repro.datamodel.values import LabeledNull
+from repro.evaluation.metrics import (
+    PrecisionRecall,
+    data_quality,
+    instance_precision_recall,
+    mapping_quality,
+)
+from repro.mappings.parser import parse_tgd
+
+N = LabeledNull(0)
+
+
+def test_perfect_match():
+    inst = Instance([fact("r", 1), fact("r", 2)])
+    pr = instance_precision_recall(inst, inst.copy())
+    assert pr.precision == 1.0 and pr.recall == 1.0 and pr.f1 == 1.0
+
+
+def test_precision_penalizes_extra_facts():
+    result = Instance([fact("r", 1), fact("r", 2)])
+    reference = Instance([fact("r", 1)])
+    pr = instance_precision_recall(result, reference)
+    assert pr.precision == 0.5
+    assert pr.recall == 1.0
+    assert pr.f1 == pytest.approx(2 / 3)
+
+
+def test_recall_penalizes_missing_facts():
+    result = Instance([fact("r", 1)])
+    reference = Instance([fact("r", 1), fact("r", 2)])
+    pr = instance_precision_recall(result, reference)
+    assert pr.precision == 1.0
+    assert pr.recall == 0.5
+
+
+def test_null_facts_match_homomorphically():
+    result = Instance([fact("r", "a", N)])
+    reference = Instance([fact("r", "a", 111)])
+    pr = instance_precision_recall(result, reference)
+    assert pr.precision == 1.0
+    assert pr.recall == 1.0
+
+
+def test_null_facts_do_not_match_wrong_constants():
+    result = Instance([fact("r", "b", N)])
+    reference = Instance([fact("r", "a", 111)])
+    pr = instance_precision_recall(result, reference)
+    assert pr.precision == 0.0
+    assert pr.recall == 0.0
+    assert pr.f1 == 0.0
+
+
+def test_empty_result_conventions():
+    reference = Instance([fact("r", 1)])
+    pr = instance_precision_recall(Instance(), reference)
+    assert pr.precision == 1.0
+    assert pr.recall == 0.0
+    both_empty = instance_precision_recall(Instance(), Instance())
+    assert both_empty.f1 == 1.0
+
+
+def test_empty_reference():
+    pr = instance_precision_recall(Instance([fact("r", 1)]), Instance())
+    assert pr.recall == 1.0
+    assert pr.precision == 0.0
+
+
+def test_data_quality_runs_exchange():
+    source = Instance([fact("s", "x")])
+    reference = Instance([fact("t", "x", 5)])
+    pr = data_quality(source, [parse_tgd("s(A) -> t(A, F)")], reference)
+    assert pr.f1 == 1.0
+
+
+def test_mapping_quality():
+    pr = mapping_quality({0, 1, 2}, {1, 2, 3})
+    assert pr.precision == pytest.approx(2 / 3)
+    assert pr.recall == pytest.approx(2 / 3)
+
+
+def test_mapping_quality_empty_selection():
+    pr = mapping_quality(set(), {1})
+    assert pr.precision == 1.0 and pr.recall == 0.0
+    assert mapping_quality(set(), set()).f1 == 1.0
+
+
+def test_f1_zero_when_both_zero():
+    assert PrecisionRecall(0.0, 0.0).f1 == 0.0
+
+
+def test_repr_shows_three_numbers():
+    text = repr(PrecisionRecall(0.5, 1.0))
+    assert "P=0.500" in text and "F1=" in text

@@ -1,0 +1,41 @@
+"""Tests for sparkline rendering."""
+
+from repro.evaluation.reporting import series_block, sparkline
+
+
+def test_sparkline_monotone_series():
+    s = sparkline([0.0, 0.25, 0.5, 0.75, 1.0], low=0, high=1)
+    assert len(s) == 5
+    assert s[0] == "▁"
+    assert s[-1] == "█"
+    assert s == "".join(sorted(s))
+
+
+def test_sparkline_flat_series():
+    assert sparkline([1.0, 1.0, 1.0]) == "███"
+
+
+def test_sparkline_empty():
+    assert sparkline([]) == ""
+
+
+def test_sparkline_clamps_out_of_range():
+    s = sparkline([-1.0, 2.0], low=0, high=1)
+    assert s == "▁█"
+
+
+def test_sparkline_autorange():
+    s = sparkline([10.0, 20.0])
+    assert s[0] == "▁" and s[-1] == "█"
+
+
+def test_series_block_layout():
+    block = series_block(
+        "F1 vs noise",
+        {"collective": [1.0, 0.9], "all": [1.0, 0.5]},
+    )
+    lines = block.splitlines()
+    assert lines[0] == "F1 vs noise"
+    assert len(lines) == 3
+    assert "0.900" in lines[1]
+    assert "0.500" in lines[2]

@@ -1,0 +1,82 @@
+"""Tests for core computation."""
+
+from repro.datamodel.instance import Instance, fact
+from repro.datamodel.values import LabeledNull
+from repro.homomorphism.core import core_of, fold_count, is_core
+
+N0, N1, N2, N3 = (LabeledNull(i) for i in range(4))
+
+
+def test_ground_instance_is_its_own_core():
+    inst = Instance([fact("r", 1), fact("r", 2)])
+    assert core_of(inst) == inst
+    assert is_core(inst)
+
+
+def test_redundant_null_fact_folds_onto_ground_fact():
+    inst = Instance([fact("r", "a", 1), fact("r", "a", N0)])
+    core = core_of(inst)
+    assert core == Instance([fact("r", "a", 1)])
+    assert fold_count(inst) == 1
+
+
+def test_isomorphic_null_facts_fold_together():
+    # Two candidates copied the same tuple with different fresh nulls.
+    inst = Instance([fact("t", "ml", N0), fact("t", "ml", N1)])
+    core = core_of(inst)
+    assert len(core) == 1
+    assert is_core(core)
+
+
+def test_joined_null_groups_fold_as_units():
+    # {t(a,N0), o(N0)} and {t(a,N1), o(N1)} are redundant copies.
+    inst = Instance(
+        [fact("t", "a", N0), fact("o", N0), fact("t", "a", N1), fact("o", N1)]
+    )
+    core = core_of(inst)
+    assert len(core) == 2
+    assert is_core(core)
+
+
+def test_linked_nulls_do_not_fold_when_distinguished():
+    # o(N0, x) vs o(N1, y): different constants anchor the nulls apart.
+    inst = Instance(
+        [fact("t", N0), fact("o", N0, "x"), fact("t", N1), fact("o", N1, "y")]
+    )
+    assert core_of(inst) == inst
+    assert is_core(inst)
+
+
+def test_paper_example_chase_has_redundancy_across_candidates():
+    from repro.chase.engine import chase
+    from repro.examples_data import paper_example
+
+    ex = paper_example()
+    combined = chase(ex.source, [ex.theta1, ex.theta3]).instance
+    # theta1's task facts fold onto theta3's (whose nulls are corroborated
+    # by org facts), shrinking 2+4 facts to theta3's 4.
+    core = core_of(combined)
+    assert len(combined) == 6
+    assert len(core) == 4
+    assert is_core(core)
+
+
+def test_max_folds_caps_work():
+    inst = Instance(
+        [fact("t", "a", N0), fact("t", "a", N1), fact("t", "a", N2), fact("t", "a", 9)]
+    )
+    partial = core_of(inst, max_folds=1)
+    assert len(partial) == len(inst) - 1 or len(partial) < len(inst)
+    full = core_of(inst)
+    assert full == Instance([fact("t", "a", 9)])
+
+
+def test_core_is_homomorphically_equivalent():
+    from repro.homomorphism.search import is_homomorphic
+
+    inst = Instance(
+        [fact("t", "a", N0), fact("o", N0), fact("t", "a", N1), fact("o", N1)]
+    )
+    core = core_of(inst)
+    assert is_homomorphic(inst, core)
+    assert is_homomorphic(core, inst)

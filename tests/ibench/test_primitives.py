@@ -1,0 +1,123 @@
+"""Unit tests for the seven iBench primitives."""
+
+import random
+
+import pytest
+
+from repro.errors import ScenarioError
+from repro.ibench.primitives import PRIMITIVE_MAKERS, make_primitive
+
+
+@pytest.fixture
+def rng():
+    return random.Random(0)
+
+
+ADD_REMOVE = (2, 4)
+
+
+def test_all_seven_primitives_registered():
+    assert set(PRIMITIVE_MAKERS) == {"CP", "ADD", "DL", "ADL", "ME", "VP", "VNM"}
+
+
+def test_unknown_primitive_rejected(rng):
+    with pytest.raises(ScenarioError):
+        make_primitive("XX", 0, rng, ADD_REMOVE)
+
+
+def test_cp_copies_arity(rng):
+    out = make_primitive("CP", 0, rng, ADD_REMOVE)
+    (source,), (target,) = out.source_relations, out.target_relations
+    assert source.arity == target.arity
+    gold = out.gold_tgds[0]
+    assert gold.is_full
+    assert len(out.correspondences) == source.arity
+
+
+def test_add_appends_two_to_four_existential_attributes(rng):
+    for seed in range(10):
+        out = make_primitive("ADD", 0, random.Random(seed), ADD_REMOVE)
+        (source,), (target,) = out.source_relations, out.target_relations
+        added = target.arity - source.arity
+        assert 2 <= added <= 4
+        gold = out.gold_tgds[0]
+        assert len(gold.existential_variables) == added
+
+
+def test_dl_removes_two_to_four_attributes(rng):
+    for seed in range(10):
+        out = make_primitive("DL", 0, random.Random(seed), ADD_REMOVE)
+        (source,), (target,) = out.source_relations, out.target_relations
+        removed = source.arity - target.arity
+        assert 2 <= removed <= 4
+        assert out.gold_tgds[0].is_full
+
+
+def test_adl_adds_and_removes(rng):
+    for seed in range(10):
+        out = make_primitive("ADL", 0, random.Random(seed), ADD_REMOVE)
+        gold = out.gold_tgds[0]
+        assert 2 <= len(gold.existential_variables) <= 4
+        (source,) = out.source_relations
+        kept = len(gold.exported_variables)
+        assert source.arity - kept >= 2
+
+
+def test_me_joins_two_sources(rng):
+    out = make_primitive("ME", 0, rng, ADD_REMOVE)
+    assert len(out.source_relations) == 2
+    assert len(out.source_fks) == 1
+    gold = out.gold_tgds[0]
+    assert len(gold.body) == 2
+    assert gold.is_full
+    # join variable shared between the two body atoms
+    shared = set(gold.body[0].variables) & set(gold.body[1].variables)
+    assert len(shared) == 1
+
+
+def test_vp_produces_joined_target_pair(rng):
+    out = make_primitive("VP", 0, rng, ADD_REMOVE)
+    assert len(out.target_relations) == 2
+    assert len(out.target_fks) == 1
+    gold = out.gold_tgds[0]
+    assert len(gold.head) == 2
+    assert len(gold.existential_variables) == 1
+
+
+def test_vnm_produces_bridge(rng):
+    out = make_primitive("VNM", 0, rng, ADD_REMOVE)
+    assert len(out.target_relations) == 3
+    assert len(out.target_fks) == 2
+    gold = out.gold_tgds[0]
+    assert len(gold.head) == 3
+    assert len(gold.existential_variables) == 2
+
+
+def test_names_include_index_for_uniqueness(rng):
+    a = make_primitive("CP", 0, random.Random(1), ADD_REMOVE)
+    b = make_primitive("CP", 1, random.Random(1), ADD_REMOVE)
+    assert a.relation_names.isdisjoint(b.relation_names)
+
+
+@pytest.mark.parametrize("kind", sorted(PRIMITIVE_MAKERS))
+def test_correspondences_reference_own_relations(kind, rng):
+    out = make_primitive(kind, 0, rng, ADD_REMOVE)
+    source_names = {r.name for r in out.source_relations}
+    target_names = {r.name for r in out.target_relations}
+    for c in out.correspondences:
+        assert c.source_relation in source_names
+        assert c.target_relation in target_names
+
+
+@pytest.mark.parametrize("kind", sorted(PRIMITIVE_MAKERS))
+def test_gold_tgds_validate_against_schemas(kind, rng):
+    from repro.datamodel.schema import Schema
+
+    out = make_primitive(kind, 0, rng, ADD_REMOVE)
+    source_schema, target_schema = Schema("S"), Schema("T")
+    for rel in out.source_relations:
+        source_schema.add(rel)
+    for rel in out.target_relations:
+        target_schema.add(rel)
+    for gold in out.gold_tgds:
+        gold.validate_against(source_schema, target_schema)

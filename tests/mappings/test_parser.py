@@ -1,0 +1,87 @@
+"""Unit tests for the tgd text format."""
+
+import pytest
+
+from repro.datamodel.values import Constant
+from repro.errors import ParseError
+from repro.mappings.parser import parse_tgd, parse_tgds
+from repro.mappings.terms import Variable
+
+
+def test_basic_parse():
+    t = parse_tgd("r(X, Y) -> s(Y, X)")
+    assert t.body[0].relation == "r"
+    assert t.head[0].relation == "s"
+    assert t.head[0].terms == (Variable("Y"), Variable("X"))
+
+
+def test_named_tgd():
+    t = parse_tgd("gold: r(X) -> s(X)")
+    assert t.name == "gold"
+
+
+def test_uppercase_is_variable_lowercase_is_constant():
+    t = parse_tgd("r(X, ibm) -> s(X)")
+    assert t.body[0].terms[1] == Constant("ibm")
+
+
+def test_underscore_prefix_is_variable():
+    t = parse_tgd("r(_x) -> s(_x)")
+    assert t.body[0].terms[0] == Variable("_x")
+
+
+def test_integers_become_int_constants():
+    t = parse_tgd("r(X, 42) -> s(X)")
+    assert t.body[0].terms[1] == Constant(42)
+
+
+def test_quoted_strings_preserve_case():
+    t = parse_tgd('r(X, "BigData") -> s(X)')
+    assert t.body[0].terms[1] == Constant("BigData")
+
+
+def test_conjunction_in_body_and_head():
+    t = parse_tgd("a(X) & b(X, Y) -> c(Y) & d(X, Y)")
+    assert len(t.body) == 2
+    assert len(t.head) == 2
+
+
+def test_whitespace_insensitive():
+    a = parse_tgd("r( X ,Y )->s( Y )")
+    b = parse_tgd("r(X, Y) -> s(Y)")
+    assert a.canonical() == b.canonical()
+
+
+def test_parse_many_with_newlines_and_semicolons():
+    tgds = parse_tgds("a(X) -> b(X)\nc(X) -> d(X); e(X) -> f(X)")
+    assert [t.body[0].relation for t in tgds] == ["a", "c", "e"]
+
+
+def test_missing_arrow_rejected():
+    with pytest.raises(ParseError):
+        parse_tgd("r(X) s(X)")
+
+
+def test_double_arrow_rejected():
+    with pytest.raises(ParseError):
+        parse_tgd("r(X) -> s(X) -> t(X)")
+
+
+def test_atom_without_terms_rejected():
+    with pytest.raises(ParseError):
+        parse_tgd("r() -> s(X)")
+
+
+def test_garbage_body_rejected():
+    with pytest.raises(ParseError):
+        parse_tgd("r(X) &&& -> s(X)")
+
+
+def test_missing_ampersand_rejected():
+    with pytest.raises(ParseError):
+        parse_tgd("r(X) q(X) -> s(X)")
+
+
+def test_empty_term_rejected():
+    with pytest.raises(ParseError):
+        parse_tgd("r(X,) -> s(X)")

@@ -1,0 +1,138 @@
+"""Unit tests for the ADMM solver, cross-checked against scipy's LP solver."""
+
+import numpy as np
+import pytest
+from scipy.optimize import linprog
+
+from repro.psl.admm import AdmmSettings, AdmmSolver
+from repro.psl.hlmrf import HingeLossMRF
+from repro.psl.predicate import Predicate
+
+X = Predicate("x", 1, closed=False)
+
+
+def _mrf(num_vars: int) -> HingeLossMRF:
+    mrf = HingeLossMRF()
+    for i in range(num_vars):
+        mrf.variable_index(X(i))
+    return mrf
+
+
+def test_single_hinge_pulls_variable_down():
+    mrf = _mrf(1)
+    mrf.add_potential({X(0): 1.0}, 0.0, weight=2.0)  # 2*max(0, x)
+    result = AdmmSolver(mrf).solve()
+    assert result.converged
+    assert result.x[0] == pytest.approx(0.0, abs=1e-4)
+
+
+def test_opposing_hinges_balance_by_weight():
+    # min 3*max(0,1-x) + 1*max(0,x): optimum x=1 (coverage beats size).
+    mrf = _mrf(1)
+    mrf.add_potential({X(0): -1.0}, 1.0, weight=3.0)
+    mrf.add_potential({X(0): 1.0}, 0.0, weight=1.0)
+    result = AdmmSolver(mrf).solve()
+    assert result.x[0] == pytest.approx(1.0, abs=1e-3)
+
+
+def test_hard_constraint_respected():
+    # min max(0, 1-x) subject to x <= 0.25
+    mrf = _mrf(1)
+    mrf.add_potential({X(0): -1.0}, 1.0, weight=1.0)
+    mrf.add_constraint({X(0): 1.0}, -0.25)
+    result = AdmmSolver(mrf).solve()
+    assert result.x[0] == pytest.approx(0.25, abs=1e-3)
+
+
+def test_equality_constraint():
+    mrf = _mrf(2)
+    mrf.add_potential({X(0): 1.0}, 0.0, weight=1.0)
+    mrf.add_constraint({X(0): 1.0, X(1): -1.0}, 0.0, equality=True)
+    mrf.add_potential({X(1): -1.0}, 0.5, weight=10.0)  # pull x1 up to 0.5
+    result = AdmmSolver(mrf).solve()
+    assert result.x[0] == pytest.approx(result.x[1], abs=1e-3)
+
+
+def test_squared_hinge_quadratic_optimum():
+    # min 1*max(0,x)^2 + 1*max(0, 0.8-x)^2 -> x = 0.4
+    mrf = _mrf(1)
+    mrf.add_potential({X(0): 1.0}, 0.0, weight=1.0, squared=True)
+    mrf.add_potential({X(0): -1.0}, 0.8, weight=1.0, squared=True)
+    result = AdmmSolver(mrf).solve()
+    assert result.x[0] == pytest.approx(0.4, abs=1e-3)
+
+
+def test_box_constraints_enforced():
+    mrf = _mrf(1)
+    mrf.add_potential({X(0): -1.0}, 5.0, weight=100.0)  # wants x -> 5
+    result = AdmmSolver(mrf).solve()
+    assert result.x[0] == pytest.approx(1.0, abs=1e-4)
+
+
+def test_empty_mrf_returns_immediately():
+    mrf = _mrf(2)
+    result = AdmmSolver(mrf).solve()
+    assert result.converged
+    assert result.iterations == 0
+
+
+def test_warm_start_is_used():
+    mrf = _mrf(1)
+    mrf.add_potential({X(0): 1.0}, 0.0, weight=1.0)
+    cold = AdmmSolver(mrf).solve()
+    warm = AdmmSolver(mrf).solve(warm_start=np.array([0.0]))
+    assert warm.iterations <= cold.iterations
+
+
+def _random_linear_hinge_mrf(rng: np.random.Generator, n: int, m: int) -> HingeLossMRF:
+    mrf = _mrf(n)
+    for _ in range(m):
+        size = rng.integers(1, min(4, n) + 1)
+        idx = rng.choice(n, size=size, replace=False)
+        coeffs = {X(int(i)): float(rng.normal()) for i in idx}
+        mrf.add_potential(coeffs, float(rng.normal()), weight=float(rng.uniform(0.1, 3)))
+    return mrf
+
+
+def _lp_reference(mrf: HingeLossMRF) -> float:
+    """Optimal energy via scipy linprog (hinges -> slack variables)."""
+    n = mrf.num_variables
+    m = len(mrf.potentials)
+    c = np.zeros(n + m)
+    a_ub, b_ub = [], []
+    for k, p in enumerate(mrf.potentials):
+        c[n + k] = p.weight
+        row = np.zeros(n + m)
+        for i, coeff in p.coefficients:
+            row[i] = coeff
+        row[n + k] = -1.0
+        a_ub.append(row)
+        b_ub.append(-p.offset)
+    bounds = [(0, 1)] * n + [(0, None)] * m
+    res = linprog(c, A_ub=np.array(a_ub), b_ub=np.array(b_ub), bounds=bounds, method="highs")
+    assert res.success
+    return res.fun
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+def test_admm_matches_lp_reference_on_random_problems(seed):
+    rng = np.random.default_rng(seed)
+    mrf = _random_linear_hinge_mrf(rng, n=6, m=12)
+    settings = AdmmSettings(max_iterations=20000, epsilon_abs=1e-7, epsilon_rel=1e-6)
+    result = AdmmSolver(mrf, settings).solve()
+    reference = _lp_reference(mrf)
+    assert result.energy == pytest.approx(reference, abs=2e-3)
+
+
+def test_reports_non_convergence_when_capped():
+    mrf = _mrf(3)
+    rng = np.random.default_rng(7)
+    for _ in range(10):
+        mrf.add_potential(
+            {X(int(i)): float(rng.normal()) for i in range(3)},
+            float(rng.normal()),
+            weight=1.0,
+        )
+    result = AdmmSolver(mrf, AdmmSettings(max_iterations=3)).solve()
+    assert not result.converged
+    assert result.iterations == 3

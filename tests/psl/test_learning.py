@@ -1,0 +1,87 @@
+"""Tests for PSL rule-weight learning."""
+
+import pytest
+
+from repro.errors import InferenceError
+from repro.psl.learning import learn_rule_weights, rule_features
+from repro.psl.program import PslProgram
+from repro.psl.rule import lit
+
+
+def _program():
+    """Evidence rule vs abstain prior; truth decides their balance."""
+    program = PslProgram()
+    evidence = program.predicate("evidence", 1)
+    label = program.predicate("label", 1, closed=False)
+    support = program.rule([lit(evidence, "X")], [lit(label, "X")], weight=0.1, name="support")
+    prior = program.rule([lit(label, "X")], [], weight=2.0, name="prior")
+    for item in ("a", "b"):
+        program.observe(evidence(item))
+        program.target(label(item))
+    return program, label, support, prior
+
+
+def test_rule_features_at_extremes():
+    program, label, support, prior = _program()
+    all_true = {label("a"): 1.0, label("b"): 1.0}
+    all_false = {label("a"): 0.0, label("b"): 0.0}
+    phi_true = rule_features(program, all_true)
+    phi_false = rule_features(program, all_false)
+    # With labels true: support satisfied, prior violated (one per atom).
+    assert phi_true.get(support, 0.0) == pytest.approx(0.0)
+    assert phi_true[prior] == pytest.approx(2.0)
+    # With labels false: support violated, prior satisfied.
+    assert phi_false[support] == pytest.approx(2.0)
+    assert phi_false.get(prior, 0.0) == pytest.approx(0.0)
+
+
+def test_features_require_full_assignment():
+    program, label, *_ = _program()
+    with pytest.raises(InferenceError):
+        rule_features(program, {label("a"): 1.0})  # label(b) missing
+
+
+def test_learning_flips_the_balance_toward_truth():
+    program, label, support, prior = _program()
+    truth = {label("a"): 1.0, label("b"): 1.0}
+    # Initially the strong prior wins: inference predicts ~0.
+    before = program.infer()
+    assert before.truth(label("a")) < 0.2
+
+    result = learn_rule_weights(program, truth, epochs=30, learning_rate=0.5)
+    assert result.converged
+    assert result.weights[support] > result.weights[prior]
+
+    after = program.infer(weight_overrides=result.weights)
+    assert after.truth(label("a")) > 0.8
+
+
+def test_no_update_when_truth_already_optimal():
+    program, label, support, prior = _program()
+    truth = {label("a"): 0.0, label("b"): 0.0}  # the prior's preference
+    result = learn_rule_weights(program, truth, epochs=5)
+    assert result.converged
+    assert len(result.energy_gaps) == 1
+    assert result.weights[support] == pytest.approx(0.1)
+
+
+def test_weights_respect_floor():
+    program, label, support, prior = _program()
+    truth = {label("a"): 1.0, label("b"): 1.0}
+    result = learn_rule_weights(
+        program, truth, epochs=30, learning_rate=10.0, floor=0.05
+    )
+    assert all(w >= 0.05 for w in result.weights.values())
+
+
+def test_hard_rules_excluded_from_learning():
+    program = PslProgram()
+    person = program.predicate("person", 1)
+    a = program.predicate("a", 1, closed=False)
+    soft = program.rule([lit(person, "X")], [lit(a, "X")], weight=1.0)
+    hard = program.rule([lit(person, "X"), lit(a, "X")], [], weight=None)
+    program.observe(person("p"))
+    program.target(a("p"))
+    result = learn_rule_weights(program, {a("p"): 0.0}, epochs=3)
+    assert hard not in result.weights
+    assert soft in result.weights

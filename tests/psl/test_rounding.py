@@ -1,0 +1,125 @@
+"""Unit tests for threshold-sweep and local-search rounding."""
+
+from repro.psl.rounding import local_search, round_solution, threshold_sweep
+
+
+def _objective_from_table(table):
+    def objective(selected: frozenset):
+        return table[frozenset(selected)]
+
+    return objective
+
+
+def test_threshold_sweep_picks_best_prefix():
+    fractional = {"a": 0.9, "b": 0.6, "c": 0.1}
+    table = {
+        frozenset(): 10,
+        frozenset({"a"}): 5,
+        frozenset({"a", "b"}): 3,
+        frozenset({"a", "b", "c"}): 7,
+    }
+    assert threshold_sweep(fractional, _objective_from_table(table)) == {"a", "b"}
+
+
+def test_threshold_sweep_can_return_empty():
+    fractional = {"a": 0.4}
+    table = {frozenset(): 1, frozenset({"a"}): 2}
+    assert threshold_sweep(fractional, _objective_from_table(table)) == frozenset()
+
+
+def test_local_search_escapes_prefix_structure():
+    # Optimal set {c} is not a prefix of the fractional ranking.
+    fractional = {"a": 0.9, "b": 0.8, "c": 0.1}
+    values = {
+        frozenset(): 10,
+        frozenset({"a"}): 9,
+        frozenset({"b"}): 9,
+        frozenset({"c"}): 1,
+        frozenset({"a", "b"}): 8,
+        frozenset({"a", "c"}): 5,
+        frozenset({"b", "c"}): 5,
+        frozenset({"a", "b", "c"}): 6,
+    }
+    objective = _objective_from_table(values)
+    start = threshold_sweep(fractional, objective)
+    assert local_search(start, fractional, objective) == {"c"}
+
+
+def test_round_solution_combines_both():
+    fractional = {"a": 0.9, "b": 0.2}
+    values = {
+        frozenset(): 4,
+        frozenset({"a"}): 3,
+        frozenset({"b"}): 1,
+        frozenset({"a", "b"}): 2,
+    }
+    assert round_solution(fractional, _objective_from_table(values)) == {"b"}
+
+
+def test_round_solution_without_local_search_is_prefix_only():
+    fractional = {"a": 0.9, "b": 0.2}
+    values = {
+        frozenset(): 4,
+        frozenset({"a"}): 3,
+        frozenset({"b"}): 1,
+        frozenset({"a", "b"}): 2,
+    }
+    result = round_solution(
+        fractional, _objective_from_table(values), with_local_search=False
+    )
+    assert result == {"a", "b"}  # best prefix; {b} unreachable by sweep
+
+
+def test_local_search_terminates_at_local_optimum():
+    fractional = {i: 0.5 for i in range(4)}
+    objective = lambda s: len(s)  # noqa: E731 - monotone, empty set optimal
+    assert local_search(frozenset(range(4)), fractional, objective) == frozenset()
+
+
+def test_empty_universe():
+    assert round_solution({}, lambda s: 0) == frozenset()
+
+
+def test_randomized_rounding_finds_non_prefix_optimum():
+    from repro.psl.rounding import randomized_rounding
+
+    fractional = {"a": 0.5, "b": 0.5, "c": 0.5}
+    values = {
+        frozenset(): 10,
+        frozenset({"a"}): 9,
+        frozenset({"b"}): 9,
+        frozenset({"c"}): 9,
+        frozenset({"a", "b"}): 8,
+        frozenset({"a", "c"}): 1,  # optimum, not a fractional-order prefix
+        frozenset({"b", "c"}): 8,
+        frozenset({"a", "b", "c"}): 7,
+    }
+    result = randomized_rounding(
+        fractional, _objective_from_table(values), trials=64, seed=3
+    )
+    assert result == {"a", "c"}
+
+
+def test_randomized_rounding_includes_deterministic_extremes():
+    from repro.psl.rounding import randomized_rounding
+
+    fractional = {"a": 1.0, "b": 1.0}
+    values = {
+        frozenset(): 0,  # the all-excluded extreme is optimal
+        frozenset({"a"}): 5,
+        frozenset({"b"}): 5,
+        frozenset({"a", "b"}): 5,
+    }
+    result = randomized_rounding(fractional, _objective_from_table(values), trials=4)
+    assert result == frozenset()
+
+
+def test_randomized_rounding_deterministic_under_seed():
+    from repro.psl.rounding import randomized_rounding
+
+    fractional = {i: 0.5 for i in range(6)}
+    objective = lambda s: abs(len(s) - 3)  # noqa: E731
+    a = randomized_rounding(fractional, objective, trials=16, seed=9)
+    b = randomized_rounding(fractional, objective, trials=16, seed=9)
+    assert a == b
+    assert len(a) == 3

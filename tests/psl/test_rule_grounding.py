@@ -1,0 +1,126 @@
+"""Unit tests for rule construction and grounding."""
+
+import pytest
+
+from repro.errors import GroundingError
+from repro.psl.database import Database
+from repro.psl.grounding import ground_rule, linearize, substitutions
+from repro.psl.predicate import Predicate
+from repro.psl.rule import Rule, lit, neg
+
+FRIEND = Predicate("friend", 2, closed=True)
+VOTES = Predicate("votes", 2, closed=False)
+
+
+def _db():
+    db = Database()
+    db.observe(FRIEND("a", "b"))
+    db.observe(FRIEND("b", "c"), 0.5)
+    for person in ("a", "b", "c"):
+        db.add_target(VOTES(person, "left"))
+    return db
+
+
+def test_rule_repr_and_weight_validation():
+    r = Rule((lit(FRIEND, "X", "Y"),), (lit(VOTES, "X", "p"),), 2.0)
+    assert "friend" in repr(r)
+    with pytest.raises(GroundingError):
+        Rule((lit(FRIEND, "X", "Y"),), (), weight=-1.0)
+
+
+def test_unsafe_rule_rejected():
+    with pytest.raises(GroundingError):
+        Rule((lit(FRIEND, "X", "X"),), (lit(VOTES, "Y", "p"),))
+
+
+def test_literal_arity_checked():
+    with pytest.raises(GroundingError):
+        lit(FRIEND, "X")
+
+
+def test_neg_flips():
+    l = lit(FRIEND, "X", "Y")
+    assert neg(l).negated
+    assert not neg(neg(l)).negated
+
+
+def test_substitutions_join_over_body():
+    rule = Rule(
+        (lit(FRIEND, "X", "Y"), lit(VOTES, "X", "P")),
+        (lit(VOTES, "Y", "P"),),
+        1.0,
+    )
+    subs = list(substitutions(rule, _db()))
+    # friend(a,b) with votes(a,left); friend(b,c) with votes(b,left)
+    bound = {(s[next(v for v in s if v.name == "X")], s[next(v for v in s if v.name == "Y")]) for s in subs}
+    assert bound == {("a", "b"), ("b", "c")}
+
+
+def test_grounding_drops_trivially_satisfied():
+    db = _db()
+    rule = Rule((lit(FRIEND, "X", "Y"),), (lit(VOTES, "Y", "left"),), 1.0)
+    groundings = ground_rule(rule, db)
+    assert len(groundings) == 2  # friend(a,b) and friend(b,c), none trivial
+
+    # A body literal observed at 0 makes the grounding trivially satisfied.
+    db2 = Database()
+    db2.observe(FRIEND("a", "b"), 0.0)
+    db2.add_target(VOTES("b", "left"))
+    assert ground_rule(rule, db2) == []
+
+
+def test_variables_only_in_head_rejected_at_grounding():
+    other = Predicate("other", 1, closed=False)
+    rule = Rule((lit(FRIEND, "X", "X"),), (lit(other, "X"),), 1.0)
+    # Safe rule, groundable: X bound in body.
+    assert ground_rule(rule, _db()) == []  # no friend(x,x) facts
+
+    negated_only = Rule(
+        (lit(FRIEND, "X", "Y"), neg(lit(VOTES, "Z", "left"))),
+        (),
+        1.0,
+    )
+    with pytest.raises(GroundingError):
+        list(substitutions(negated_only, _db()))
+
+
+def test_linearize_coefficients():
+    db = _db()
+    rule = Rule(
+        (lit(FRIEND, "X", "Y"), lit(VOTES, "X", "left")),
+        (lit(VOTES, "Y", "left"),),
+        1.0,
+    )
+    grounding = next(
+        g for g in ground_rule(rule, db) if g.body[0] == FRIEND("a", "b")
+    )
+    coefficients, constant = linearize(grounding, db)
+    # s = friend(a,b) + votes(a) - 1 - votes(b) = 1 + x_a - 1 - x_b
+    assert coefficients[VOTES("a", "left")] == 1.0
+    assert coefficients[VOTES("b", "left")] == -1.0
+    assert constant == pytest.approx(0.0)
+
+
+def test_linearize_negated_target():
+    db = Database()
+    db.add_target(VOTES("a", "left"))
+    rule = Rule((neg(lit(VOTES, "X", "left")),), (), 1.0)
+    # Need a binding source: observe a driver atom.
+    driver = Predicate("person", 1, closed=True)
+    db.observe(driver("a"))
+    rule = Rule((lit(driver, "X"), neg(lit(VOTES, "X", "left"))), (), 1.0)
+    grounding = ground_rule(rule, db)[0]
+    coefficients, constant = linearize(grounding, db)
+    # s = person(a) + (1 - votes(a)) - 1 = 1 - votes(a)
+    assert coefficients[VOTES("a", "left")] == -1.0
+    assert constant == pytest.approx(1.0)
+
+
+def test_soft_observed_body_scales_constant():
+    db = _db()
+    rule = Rule((lit(FRIEND, "b", "c"),), (lit(VOTES, "c", "left"),), 1.0)
+    grounding = ground_rule(rule, db)[0]
+    coefficients, constant = linearize(grounding, db)
+    # s = 0.5 - votes(c)
+    assert constant == pytest.approx(0.5)
+    assert coefficients[VOTES("c", "left")] == -1.0

@@ -1,0 +1,125 @@
+"""Tests for conjunctive-query evaluation and certain answers."""
+
+import pytest
+
+from repro.datamodel.instance import Instance, fact
+from repro.datamodel.values import Constant, LabeledNull
+from repro.errors import ParseError
+from repro.queries.cq import (
+    ConjunctiveQuery,
+    QueryError,
+    certain_answers,
+    evaluate,
+    parse_query,
+    workload_for_schema,
+)
+
+N = LabeledNull(0)
+
+
+def test_parse_query():
+    q = parse_query("ans(X, Y) <- r(X, Z) & s(Z, Y)")
+    assert [v.name for v in q.head] == ["X", "Y"]
+    assert len(q.body) == 2
+    assert q.name == "ans"
+
+
+def test_parse_rejects_constants_in_head():
+    with pytest.raises(ParseError):
+        parse_query("ans(X, 5) <- r(X)")
+
+
+def test_parse_rejects_missing_arrow():
+    with pytest.raises(ParseError):
+        parse_query("ans(X) r(X)")
+
+
+def test_unsafe_head_rejected():
+    with pytest.raises(QueryError):
+        parse_query("ans(X, W) <- r(X)")
+
+
+def test_evaluate_projection():
+    inst = Instance([fact("r", 1, "a"), fact("r", 2, "b")])
+    q = parse_query("ans(X) <- r(X, Y)")
+    assert evaluate(q, inst) == {(Constant(1),), (Constant(2),)}
+
+
+def test_evaluate_join():
+    inst = Instance([fact("r", 1, "k"), fact("s", "k", 9)])
+    q = parse_query("ans(X, Z) <- r(X, Y) & s(Y, Z)")
+    assert evaluate(q, inst) == {(Constant(1), Constant(9))}
+
+
+def test_evaluate_with_constant_filter():
+    inst = Instance([fact("r", 1, "a"), fact("r", 2, "b")])
+    q = parse_query('ans(X) <- r(X, "a")')
+    assert evaluate(q, inst) == {(Constant(1),)}
+
+
+def test_certain_answers_drop_nulls():
+    inst = Instance([fact("r", 1, N), fact("r", 2, "b")])
+    q = parse_query("ans(X, Y) <- r(X, Y)")
+    assert certain_answers(q, inst) == {(Constant(2), Constant("b"))}
+    # ... but nulls may still participate in joins.
+    inst2 = Instance([fact("r", 1, N), fact("s", N, 9)])
+    join = parse_query("ans(X, Z) <- r(X, Y) & s(Y, Z)")
+    assert certain_answers(join, inst2) == {(Constant(1), Constant(9))}
+
+
+def test_certain_answers_on_chased_instance():
+    """Naive evaluation on the canonical solution = certain answers."""
+    from repro.chase.engine import chase_single
+    from repro.mappings.parser import parse_tgd
+
+    source = Instance([fact("proj", "ML", "Alice")])
+    canonical = chase_single(
+        source, parse_tgd("proj(P, E) -> task(P, E, O) & org(O)")
+    )
+    by_project = parse_query("ans(P, E) <- task(P, E, O)")
+    assert certain_answers(by_project, canonical) == {
+        (Constant("ML"), Constant("Alice"))
+    }
+    org_ids = parse_query("ans(O) <- org(O)")
+    assert certain_answers(org_ids, canonical) == set()  # only a null
+
+
+def test_boolean_query():
+    q = ConjunctiveQuery((), parse_query("ans(X) <- r(X)").body)
+    assert q.is_boolean
+    assert evaluate(q, Instance([fact("r", 1)])) == {()}
+    assert evaluate(q, Instance()) == set()
+
+
+def test_workload_for_schema_covers_relations_and_fks():
+    from repro.datamodel.schema import ForeignKey, Schema, relation
+
+    schema = Schema("T")
+    schema.add(relation("t1", "a", "f"))
+    schema.add(relation("t2", "f", "b", key=("f",)))
+    schema.add_foreign_key(ForeignKey("t1", ("f",), "t2", ("f",)))
+    workload = workload_for_schema(schema)
+    names = {q.name for q in workload}
+    assert names == {"all_t1", "all_t2", "join_t1_t2"}
+    join = next(q for q in workload if q.name.startswith("join"))
+    # join query projects the non-key attributes a and b
+    assert len(join.head) == 2
+
+
+def test_join_query_sees_through_invented_keys():
+    """The motivating case: tuple-level nulls break nothing for joins."""
+    from repro.datamodel.schema import ForeignKey, Schema, relation
+    from repro.queries.quality import query_quality
+
+    schema = Schema("T")
+    schema.add(relation("t1", "a", "f"))
+    schema.add(relation("t2", "f", "b", key=("f",)))
+    schema.add_foreign_key(ForeignKey("t1", ("f",), "t2", ("f",)))
+    workload = workload_for_schema(schema)
+
+    reference = Instance([fact("t1", "x", 101), fact("t2", 101, "y")])
+    exchanged = Instance([fact("t1", "x", N), fact("t2", N, "y")])
+    quality = query_quality(exchanged, reference, workload)
+    by_name = dict(quality.per_query)
+    assert by_name["join_t1_t2"].f1 == 1.0  # the join answer survives
+    assert by_name["all_t1"].recall == 0.0  # the raw tuple does not

@@ -1,0 +1,91 @@
+"""Tests for k-best selection enumeration."""
+
+import pytest
+
+from repro.examples_data import paper_example
+from repro.selection.exact import solve_branch_and_bound, solve_exhaustive
+from repro.selection.kbest import solve_k_best
+from repro.selection.metrics import build_selection_problem
+from repro.selection.objective import objective_value
+
+
+@pytest.fixture(scope="module")
+def problem():
+    ex = paper_example(extra_projects=5)
+    return build_selection_problem(ex.source, ex.target, ex.candidates)
+
+
+def test_k1_matches_exact(problem):
+    kbest = solve_k_best(problem, 1)
+    exact = solve_branch_and_bound(problem)
+    assert len(kbest) == 1
+    assert kbest.best.selected == exact.selected
+    assert kbest.best.objective == exact.objective
+
+
+def test_full_ranking_on_paper_example(problem):
+    kbest = solve_k_best(problem, 4)
+    values = [r.objective for r in kbest]
+    assert values == sorted(values)
+    # All four subsets of {theta1, theta3} enumerated in objective order:
+    # {t3}=8, {}=9, {t1}=9, {t1,t3}=12 (extended example).
+    assert kbest.selections[0].selected == frozenset({1})
+    assert values[0] == 8
+    assert values[-1] == 12
+
+
+def test_k_larger_than_subset_count(problem):
+    kbest = solve_k_best(problem, 100)
+    assert len(kbest) == 4  # only 2^2 subsets exist
+
+
+def test_invalid_k_rejected(problem):
+    with pytest.raises(ValueError):
+        solve_k_best(problem, 0)
+
+
+def test_objectives_are_exact(problem):
+    for result in solve_k_best(problem, 4):
+        assert result.objective == objective_value(problem, result.selected)
+
+
+def test_matches_exhaustive_ranking_on_random_problem():
+    import random
+
+    from repro.datamodel.instance import Instance, fact
+    from repro.mappings.parser import parse_tgds
+
+    rng = random.Random(3)
+    source = Instance([fact(f"r{i}", j) for i in range(6) for j in range(3)])
+    target = Instance([fact("u", j) for j in range(3)] + [fact("v", j) for j in range(3)])
+    tgds = parse_tgds(
+        "\n".join(f"r{i}(X) -> {'u' if rng.random() < 0.5 else 'v'}(X)" for i in range(6))
+    )
+    problem = build_selection_problem(source, target, tgds)
+
+    k = 8
+    kbest = solve_k_best(problem, k)
+    # Brute-force the true top-k.
+    from itertools import combinations
+
+    all_values = []
+    for size in range(problem.num_candidates + 1):
+        for subset in combinations(range(problem.num_candidates), size):
+            all_values.append(objective_value(problem, subset))
+    all_values.sort()
+    assert [r.objective for r in kbest] == all_values[:k]
+
+
+def test_kbest_on_generated_scenario():
+    from repro.ibench.config import ScenarioConfig
+    from repro.ibench.generator import generate_scenario
+
+    scenario = generate_scenario(
+        ScenarioConfig(num_primitives=3, seed=23, pi_corresp=50)
+    )
+    problem = scenario.selection_problem()
+    kbest = solve_k_best(problem, 5)
+    assert len(kbest) == 5
+    values = [r.objective for r in kbest]
+    assert values == sorted(values)
+    assert kbest.best.objective == solve_branch_and_bound(problem).objective

@@ -1,0 +1,72 @@
+"""Direct unit tests for SelectionProblem metric tables."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.datamodel.instance import Instance, fact
+from repro.errors import SelectionError
+from repro.examples_data import paper_example
+from repro.mappings.parser import parse_tgds
+from repro.selection.metrics import build_selection_problem
+
+
+@pytest.fixture(scope="module")
+def problem():
+    ex = paper_example()
+    return build_selection_problem(ex.source, ex.target, ex.candidates)
+
+
+def test_rejects_non_tgd_candidates():
+    ex = paper_example()
+    with pytest.raises(SelectionError):
+        build_selection_problem(ex.source, ex.target, ["not a tgd"])
+
+
+def test_covers_store_only_nonzero(problem):
+    for table in problem.covers:
+        assert all(degree > 0 for degree in table.values())
+
+
+def test_max_cover_over_selections(problem):
+    ml_task = next(t for t in problem.j_facts if "ML" in repr(t) and t.relation == "task")
+    assert problem.max_cover(ml_task, []) == 0
+    assert problem.max_cover(ml_task, [0]) == Fraction(2, 3)
+    assert problem.max_cover(ml_task, [0, 1]) == Fraction(1)
+
+
+def test_union_error_facts_counts_shared_once():
+    source = Instance([fact("a", 1), fact("b", 1)])
+    target = Instance([fact("u", 99)])
+    tgds = parse_tgds("a(X) -> u(X)\nb(X) -> u(X)")
+    problem = build_selection_problem(source, target, tgds)
+    assert problem.union_error_facts([0]) == {fact("u", 1)}
+    assert problem.union_error_facts([0, 1]) == {fact("u", 1)}
+
+
+def test_null_error_facts_are_per_candidate():
+    source = Instance([fact("a", 1)])
+    target = Instance([fact("u", 99, 99)])
+    tgds = parse_tgds("a(X) -> u(X, Y)\na(X) -> u(X, Z)")
+    problem = build_selection_problem(source, target, tgds)
+    # Isomorphic but distinct (fresh nulls): two errors when both selected.
+    assert len(problem.union_error_facts([0, 1])) == 2
+
+
+def test_coverable_facts_and_certain_unexplained_partition(problem):
+    coverable = problem.coverable_facts()
+    inert = set(problem.certain_unexplained())
+    assert coverable | inert == set(problem.j_facts)
+    assert coverable & inert == set()
+
+
+def test_chase_by_candidate_matches_candidates(problem):
+    assert len(problem.chase_by_candidate) == problem.num_candidates
+    # theta1 produces one fact per source row, theta3 two.
+    assert len(problem.chase_by_candidate[0]) == 2
+    assert len(problem.chase_by_candidate[1]) == 4
+
+
+def test_j_facts_are_sorted_and_complete(problem):
+    assert problem.j_facts == sorted(problem.j_facts, key=repr)
+    assert set(problem.j_facts) == set(problem.target)

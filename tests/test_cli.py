@@ -1,0 +1,88 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_demo_prints_appendix_table(capsys):
+    assert main(["demo"]) == 0
+    out = capsys.readouterr().out
+    assert "Eq.(9)" in out
+    assert "22/3" in out  # the {t1} row's exact value
+    assert "collective selection" in out
+
+
+def test_generate_then_select(tmp_path, capsys):
+    path = tmp_path / "scenario.json"
+    assert (
+        main(
+            [
+                "generate",
+                str(path),
+                "--primitives",
+                "3",
+                "--pi-corresp",
+                "50",
+                "--seed",
+                "4",
+            ]
+        )
+        == 0
+    )
+    assert path.exists()
+    assert main(["select", str(path)]) == 0
+    out = capsys.readouterr().out
+    for method in ("collective", "greedy", "all-candidates", "exact", "independent", "gold"):
+        assert method in out
+
+
+def test_select_single_method(tmp_path, capsys):
+    path = tmp_path / "scenario.json"
+    main(["generate", str(path), "--primitives", "2", "--seed", "1"])
+    assert main(["select", str(path), "--method", "greedy"]) == 0
+    out = capsys.readouterr().out
+    assert "greedy" in out
+    assert "exact" not in out
+
+
+def test_sweep_prints_levels(capsys):
+    assert (
+        main(
+            [
+                "sweep",
+                "--noise",
+                "pi_errors",
+                "--primitives",
+                "2",
+                "--rows",
+                "6",
+                "--seeds",
+                "1",
+                "--levels",
+                "0",
+                "50",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "pi_errors" in out
+    assert "collective" in out
+
+
+def test_generate_respects_kind_restriction(tmp_path, capsys):
+    path = tmp_path / "scenario.json"
+    main(["generate", str(path), "--primitives", "2", "--kinds", "CP", "--seed", "2"])
+    out = capsys.readouterr().out
+    assert "CP,CP" in out
+
+
+def test_unknown_command_exits():
+    with pytest.raises(SystemExit):
+        main(["not-a-command"])
+
+
+def test_missing_required_argument_exits():
+    with pytest.raises(SystemExit):
+        main(["generate"])

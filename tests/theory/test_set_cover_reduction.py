@@ -1,0 +1,70 @@
+"""Tests for the executable Theorem 1 reduction (SET COVER -> selection)."""
+
+import random
+
+import pytest
+
+from repro.theory.set_cover_reduction import (
+    SetCoverInstance,
+    decide_set_cover_directly,
+    decide_set_cover_via_selection,
+    reduce_set_cover,
+)
+
+
+def _instance(universe, family, bound):
+    return SetCoverInstance(
+        frozenset(universe), tuple(frozenset(s) for s in family), bound
+    )
+
+
+def test_reduction_structure_matches_proof():
+    instance = _instance({1, 2}, [{1}, {2}, {1, 2}], 1)
+    reduced = reduce_set_cover(instance)
+    m = 2 * instance.bound
+    assert reduced.threshold == m
+    # |D| = m+1, J = U x D
+    assert len(reduced.problem.j_facts) == len(instance.universe) * (m + 1)
+    # one candidate per family member, each of size 2, no errors
+    assert reduced.problem.sizes == [2, 2, 2]
+    assert all(not e for e in reduced.problem.error_facts)
+
+
+def test_positive_instance():
+    assert decide_set_cover_via_selection(_instance({1, 2, 3}, [{1, 2}, {3}], 2))
+
+
+def test_negative_instance_bound_too_small():
+    assert not decide_set_cover_via_selection(_instance({1, 2, 3}, [{1, 2}, {3}], 1))
+
+
+def test_negative_instance_uncoverable():
+    assert not decide_set_cover_via_selection(_instance({1, 2, 3}, [{1, 2}], 3))
+
+
+def test_exact_cover_at_bound():
+    assert decide_set_cover_via_selection(
+        _instance({1, 2, 3, 4}, [{1, 2}, {3, 4}, {1, 3}], 2)
+    )
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_random_instances_agree_with_direct_solver(seed):
+    rng = random.Random(seed)
+    universe = set(range(rng.randint(3, 6)))
+    family = [
+        frozenset(rng.sample(sorted(universe), rng.randint(1, len(universe))))
+        for _ in range(rng.randint(2, 5))
+    ]
+    bound = rng.randint(1, 3)
+    instance = SetCoverInstance(frozenset(universe), tuple(family), bound)
+    assert decide_set_cover_via_selection(instance) == decide_set_cover_directly(
+        instance
+    )
+
+
+def test_reduction_is_polynomially_sized():
+    instance = _instance(set(range(5)), [set(range(5))] * 4, 3)
+    reduced = reduce_set_cover(instance)
+    assert reduced.problem.num_candidates == 4
+    assert len(reduced.problem.source) == 4 * 5 * (2 * 3 + 1)
