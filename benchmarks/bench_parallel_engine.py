@@ -1,0 +1,138 @@
+"""Benchmark: the parallel scenario-evaluation engine.
+
+Two claims are measured on a 16-primitive scenario (the largest Table I
+scale class):
+
+1. ``build_selection_problem`` with a process-pool executor produces
+   byte-identical metric tables to the serial path, and speeds the build
+   up on multi-core hardware (the per-candidate chase + cover work is
+   embarrassingly parallel);
+2. the :class:`~repro.evaluation.engine.EvaluationEngine` runs a
+   (scenario x method x seed) grid with per-cell timing and scenario
+   caching, so re-running a grid is near-free.
+
+The measured serial/parallel ratio is always recorded to
+``benchmarks/results/``.  The >=2x assertion is opt-in via
+``REPRO_ASSERT_SPEEDUP=1`` (and still requires >= 4 CPUs): a 1-core dev
+container cannot beat serial at all, and shared CI runners are too
+timing-noisy for a hard threshold to gate merges on.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from benchmarks._common import record_result
+
+from repro.evaluation.engine import EvaluationEngine
+from repro.evaluation.reporting import format_table
+from repro.ibench.config import ScenarioConfig
+from repro.selection.metrics import build_selection_problem, problem_fingerprint
+
+# 16 primitives with enough rows that per-candidate work (tens of ms
+# each) dominates process-pool startup.
+BUILD_CONFIG = ScenarioConfig(
+    num_primitives=16, rows_per_relation=60, pi_corresp=50, seed=7
+)
+MIN_CPUS_FOR_SPEEDUP = 4
+
+
+def _workers() -> int:
+    return max(2, os.cpu_count() or 1)
+
+
+def test_parallel_build_matches_serial_bytes(scenario_cache):
+    scenario = scenario_cache(BUILD_CONFIG)
+    serial = build_selection_problem(
+        scenario.source, scenario.target, scenario.candidates
+    )
+    parallel = build_selection_problem(
+        scenario.source, scenario.target, scenario.candidates,
+        executor=f"process:{_workers()}",
+    )
+    assert problem_fingerprint(serial) == problem_fingerprint(parallel)
+
+
+def test_parallel_build_speedup(benchmark, scenario_cache):
+    scenario = scenario_cache(BUILD_CONFIG)
+
+    start = time.perf_counter()
+    serial_problem = build_selection_problem(
+        scenario.source, scenario.target, scenario.candidates
+    )
+    serial_seconds = time.perf_counter() - start
+
+    executor = f"process:{_workers()}"
+    parallel_problem = benchmark.pedantic(
+        lambda: build_selection_problem(
+            scenario.source, scenario.target, scenario.candidates,
+            executor=executor,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    parallel_seconds = benchmark.stats.stats.mean
+    speedup = serial_seconds / parallel_seconds if parallel_seconds else float("inf")
+
+    table = format_table(
+        ["path", "seconds", "speedup"],
+        [
+            ["serial", serial_seconds, 1.0],
+            [executor, parallel_seconds, speedup],
+        ],
+        title=(
+            f"build_selection_problem on {scenario.summary()}\n"
+            f"host CPUs: {os.cpu_count()}"
+        ),
+    )
+    record_result("parallel_engine_build", table)
+
+    assert problem_fingerprint(serial_problem) == problem_fingerprint(parallel_problem)
+    if (
+        os.environ.get("REPRO_ASSERT_SPEEDUP") == "1"
+        and (os.cpu_count() or 1) >= MIN_CPUS_FOR_SPEEDUP
+    ):
+        assert speedup >= 2.0, f"expected >=2x on {os.cpu_count()} CPUs, got {speedup:.2f}x"
+
+
+def test_engine_grid_with_caching(benchmark):
+    base = ScenarioConfig(num_primitives=3, rows_per_relation=8)
+    engine = EvaluationEngine()
+
+    def grid():
+        return engine.sweep(base, "pi_corresp", levels=(0, 50), seeds=(1, 2))
+
+    sweep = benchmark.pedantic(grid, rounds=1, iterations=1)
+    cold_seconds = benchmark.stats.stats.mean
+
+    # Second run hits the scenario/problem cache: only solve time remains.
+    start = time.perf_counter()
+    warm = grid()
+    warm_seconds = time.perf_counter() - start
+    assert all(
+        cell.timing.generate_seconds == 0.0 and cell.timing.problem_seconds == 0.0
+        for cell in warm.grid.cells
+    )
+
+    rows = [
+        [
+            getattr(cell.config, "pi_corresp"),
+            cell.config.seed,
+            cell.method,
+            cell.timing.generate_seconds,
+            cell.timing.problem_seconds,
+            cell.timing.solve_seconds,
+        ]
+        for cell in sweep.grid.cells
+    ]
+    table = format_table(
+        ["pi_corresp", "seed", "method", "gen s", "build s", "solve s"],
+        rows,
+        title=(
+            f"engine grid cells (cold {cold_seconds:.2f}s, cached rerun "
+            f"{warm_seconds:.2f}s)"
+        ),
+    )
+    record_result("parallel_engine_grid", table)
+    assert len(sweep.grid.cells) == 2 * 2 * 4  # levels x seeds x (3 methods + gold)

@@ -1,13 +1,17 @@
-"""Shared sweep machinery for the quality-vs-noise figures."""
+"""Shared sweep machinery for the quality-vs-noise figures.
+
+Since the engine refactor this is a thin shim over
+:class:`repro.evaluation.engine.EvaluationEngine`: the engine caches
+scenarios, chains ADMM warm starts across sweep points, and can fan grid
+cells out over a process pool; this module keeps the figure-facing
+``(rows, table_text)`` contract the bench files consume.
+"""
 
 from __future__ import annotations
 
-from dataclasses import replace
-
-from repro.evaluation.harness import run_methods
-from repro.evaluation.reporting import format_table, mean, series_block
+from repro.evaluation.engine import EvaluationEngine
+from repro.evaluation.reporting import format_table, series_block
 from repro.ibench.config import ScenarioConfig
-from repro.ibench.generator import generate_scenario
 
 METHOD_COLUMNS = ("collective", "greedy", "all-candidates", "gold")
 LEVELS = (0, 25, 50, 75, 100)
@@ -16,21 +20,22 @@ SEEDS = (1, 2)
 BASE_CONFIG = ScenarioConfig(num_primitives=4, rows_per_relation=12)
 
 
-def noise_sweep(noise_parameter: str, base: ScenarioConfig = BASE_CONFIG):
+def noise_sweep(
+    noise_parameter: str,
+    base: ScenarioConfig = BASE_CONFIG,
+    executor: object | None = None,
+):
     """Mean data-level F1 per method, per noise level.
 
     Returns (rows, table_text); rows are [level, f1...] in METHOD_COLUMNS
     order.
     """
-    rows = []
-    for level in LEVELS:
-        per_method: dict[str, list[float]] = {m: [] for m in METHOD_COLUMNS}
-        for seed in SEEDS:
-            config = replace(base, seed=seed, **{noise_parameter: float(level)})
-            scenario = generate_scenario(config)
-            for run in run_methods(scenario):
-                per_method[run.method].append(run.data.f1)
-        rows.append([level] + [mean(per_method[m]) for m in METHOD_COLUMNS])
+    engine = EvaluationEngine(
+        methods=[m for m in METHOD_COLUMNS if m != "gold"],
+        executor=executor,
+    )
+    sweep = engine.sweep(base, noise_parameter, LEVELS, SEEDS)
+    rows = sweep.mean_f1_rows(METHOD_COLUMNS)
     table = format_table(
         [noise_parameter, *METHOD_COLUMNS],
         rows,

@@ -1,0 +1,12 @@
+"""Legacy-compatible entry point for editable installs.
+
+All metadata lives in ``pyproject.toml``; normal environments should
+just ``pip install -e .``.  This shim only exists so offline or
+old-toolchain environments (setuptools < 70 without the ``wheel``
+package, no index access — where pip cannot build an editable wheel at
+all) can still get an editable install via ``python setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

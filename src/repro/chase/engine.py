@@ -31,9 +31,14 @@ def match_body(
 
     A straightforward backtracking join: atoms are matched left to right,
     narrowing candidate facts by relation and by already-bound variables.
-    Yields each satisfying assignment exactly once.
+    Yields each satisfying assignment exactly once, in an order that
+    depends only on the instance's contents (facts are scanned in sorted
+    repr order, never in set-iteration order) — so chase runs, and the
+    null labels they hand out, are reproducible across processes
+    regardless of hash randomization.
     """
     ordered = sorted(body, key=lambda a: len(instance.facts_of(a.relation)))
+    buckets = [sorted(instance.facts_of(a.relation), key=repr) for a in ordered]
     seen: set[tuple] = set()
 
     def extend(index: int, assignment: dict[Variable, Value]) -> Iterator[dict[Variable, Value]]:
@@ -44,7 +49,7 @@ def match_body(
                 yield dict(assignment)
             return
         atom = ordered[index]
-        for f in instance.facts_of(atom.relation):
+        for f in buckets[index]:
             if f.arity != atom.arity:
                 continue
             local: dict[Variable, Value] = {}

@@ -12,14 +12,17 @@ from __future__ import annotations
 
 import argparse
 import sys
-from dataclasses import replace
 
-from repro.evaluation.harness import DEFAULT_METHODS, exact_method, run_methods
-from repro.evaluation.reporting import format_table, mean
+from repro.evaluation.engine import (
+    DEFAULT_GRID_METHODS,
+    METHOD_REGISTRY,
+    EvaluationEngine,
+    run_scenario,
+)
+from repro.evaluation.reporting import format_table
 from repro.ibench.config import ALL_PRIMITIVES, ScenarioConfig
 from repro.ibench.generator import generate_scenario
 from repro.io.serialize import load_scenario, save_scenario
-from repro.selection.baselines import solve_independent
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -45,8 +48,13 @@ def _build_parser() -> argparse.ArgumentParser:
     select.add_argument("scenario", help="path of a scenario JSON")
     select.add_argument(
         "--method",
-        choices=[*DEFAULT_METHODS, "exact", "independent", "all"],
+        choices=[*METHOD_REGISTRY, "all"],
         default="all",
+    )
+    select.add_argument(
+        "--executor",
+        default="serial",
+        help="where the selection problem is built: serial or process[:N]",
     )
 
     sweep = sub.add_parser("sweep", help="quality-vs-noise sweep")
@@ -59,6 +67,21 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--rows", type=int, default=12)
     sweep.add_argument("--seeds", type=int, nargs="+", default=[1, 2])
     sweep.add_argument("--levels", type=float, nargs="+", default=[0, 25, 50, 75, 100])
+    sweep.add_argument(
+        "--executor",
+        default="serial",
+        help="where grid cells run: serial or process[:N]",
+    )
+    sweep.add_argument(
+        "--no-warm-start",
+        action="store_true",
+        help="solve every sweep cell cold instead of chaining ADMM warm starts",
+    )
+    sweep.add_argument(
+        "--timing",
+        action="store_true",
+        help="also print the per-cell timing breakdown",
+    )
 
     sub.add_parser("demo", help="the paper's running example")
     return parser
@@ -81,20 +104,33 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_select(args: argparse.Namespace) -> int:
+    import time
+
     scenario = load_scenario(args.scenario)
-    methods = dict(DEFAULT_METHODS)
-    methods["exact"] = exact_method
-    methods["independent"] = solve_independent
-    if args.method != "all":
-        methods = {args.method: methods[args.method]}
-    runs = run_methods(scenario, methods=methods)
+    names = list(METHOD_REGISTRY) if args.method == "all" else [args.method]
+    start = time.perf_counter()
+    problem = scenario.selection_problem(executor=args.executor)
+    problem_seconds = time.perf_counter() - start
+    cells = run_scenario(
+        scenario,
+        {name: METHOD_REGISTRY[name] for name in names},
+        problem=problem,
+        problem_seconds=problem_seconds,
+    )
     print(scenario.summary())
     print(
         format_table(
             ["method", "data F1", "map F1", "objective", "|M|", "sec"],
             [
-                [r.method, r.data.f1, r.mapping.f1, float(r.objective), len(r.selected), r.seconds]
-                for r in runs
+                [
+                    c.method,
+                    c.run.data.f1,
+                    c.run.mapping.f1,
+                    float(c.run.objective),
+                    len(c.run.selected),
+                    c.run.seconds,
+                ]
+                for c in cells
             ],
         )
     )
@@ -103,16 +139,33 @@ def _cmd_select(args: argparse.Namespace) -> int:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     base = ScenarioConfig(num_primitives=args.primitives, rows_per_relation=args.rows)
-    columns = ("collective", "greedy", "all-candidates", "gold")
-    rows = []
-    for level in args.levels:
-        f1: dict[str, list[float]] = {m: [] for m in columns}
-        for seed in args.seeds:
-            config = replace(base, seed=seed, **{args.noise: float(level)})
-            for run in run_methods(generate_scenario(config)):
-                f1[run.method].append(run.data.f1)
-        rows.append([level] + [mean(f1[m]) for m in columns])
-    print(format_table([args.noise, *columns], rows))
+    engine = EvaluationEngine(
+        methods=DEFAULT_GRID_METHODS,
+        executor=args.executor,
+        warm_start=not args.no_warm_start,
+    )
+    sweep = engine.sweep(base, args.noise, args.levels, args.seeds)
+    columns = [*DEFAULT_GRID_METHODS, "gold"]
+    print(format_table([args.noise, *columns], sweep.mean_f1_rows(columns)))
+    if args.timing:
+        print()
+        print(
+            format_table(
+                ["level", "seed", "method", "gen s", "build s", "solve s"],
+                [
+                    [
+                        getattr(c.config, args.noise),
+                        c.config.seed,
+                        c.method,
+                        c.timing.generate_seconds,
+                        c.timing.problem_seconds,
+                        c.timing.solve_seconds,
+                    ]
+                    for c in sweep.grid.cells
+                ],
+                title=f"cell timing (total {sweep.grid.total_seconds:.2f}s)",
+            )
+        )
     return 0
 
 

@@ -26,11 +26,16 @@ from repro.datamodel import (
     relation,
 )
 from repro.evaluation import (
+    EvaluationEngine,
+    GridResult,
     PrecisionRecall,
+    ScenarioCache,
     data_quality,
     mapping_quality,
     run_methods,
+    run_scenario,
 )
+from repro.executors import ProcessExecutor, SerialExecutor, resolve_executor
 from repro.homomorphism import CoverComputer, covers, creates, find_homomorphism
 from repro.ibench import ScenarioConfig, generate_scenario
 from repro.io import load_scenario, save_scenario
@@ -46,7 +51,9 @@ from repro.psl import AdmmSettings, PslProgram, lit
 from repro.selection.weight_learning import learn_weights, training_pairs_from_scenarios
 from repro.selection import (
     CollectiveSettings,
+    WarmStartedCollective,
     preprocess,
+    problem_fingerprint,
     solve_independent,
     ObjectiveWeights,
     SelectionProblem,
@@ -68,15 +75,21 @@ __all__ = [
     "Correspondence",
     "CoverComputer",
     "DataExample",
+    "EvaluationEngine",
     "Fact",
     "ForeignKey",
+    "GridResult",
     "Instance",
     "LabeledNull",
     "NullFactory",
     "ObjectiveWeights",
     "PrecisionRecall",
+    "ProcessExecutor",
     "PslProgram",
     "Relation",
+    "ScenarioCache",
+    "SerialExecutor",
+    "WarmStartedCollective",
     "ScenarioConfig",
     "Schema",
     "SelectionProblem",
@@ -118,7 +131,10 @@ __all__ = [
     "match_schemas",
     "parse_query",
     "preprocess",
+    "problem_fingerprint",
     "query_quality",
+    "resolve_executor",
+    "run_scenario",
     "save_scenario",
     "solve_independent",
     "training_pairs_from_scenarios",

@@ -1,5 +1,16 @@
-"""Evaluation: quality metrics, experiment harness, reporting."""
+"""Evaluation: quality metrics, experiment harness, grid engine, reporting."""
 
+from repro.evaluation.engine import (
+    DEFAULT_GRID_METHODS,
+    METHOD_REGISTRY,
+    CellTiming,
+    EvaluationEngine,
+    GridCell,
+    GridResult,
+    ScenarioCache,
+    SweepResult,
+    run_scenario,
+)
 from repro.evaluation.harness import DEFAULT_METHODS, MethodRun, exact_method, run_methods
 from repro.evaluation.metrics import (
     PrecisionRecall,
@@ -10,9 +21,17 @@ from repro.evaluation.metrics import (
 from repro.evaluation.reporting import format_table, mean
 
 __all__ = [
+    "DEFAULT_GRID_METHODS",
     "DEFAULT_METHODS",
+    "METHOD_REGISTRY",
+    "CellTiming",
+    "EvaluationEngine",
+    "GridCell",
+    "GridResult",
     "MethodRun",
     "PrecisionRecall",
+    "ScenarioCache",
+    "SweepResult",
     "data_quality",
     "exact_method",
     "format_table",
@@ -20,4 +39,5 @@ __all__ = [
     "mapping_quality",
     "mean",
     "run_methods",
+    "run_scenario",
 ]

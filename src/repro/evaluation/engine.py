@@ -1,0 +1,368 @@
+"""The scenario-evaluation engine: (scenario × method × seed) grids.
+
+The paper's evaluation — and every figure/table benchmark in this repo —
+is a sweep: generate a scenario per (noise level, seed), build its
+selection problem, run each selection method, score the result.  The
+engine turns that single-shot loop into a reusable, parallelizable grid
+runner:
+
+* **work units** — one :class:`ConfigCells` job per scenario config runs
+  every requested method on that scenario.  Jobs are picklable and
+  independent, so they execute through any
+  :class:`~repro.executors.MapExecutor` (serial or process pool);
+* **scenario caching** — scenarios and their
+  :class:`~repro.selection.metrics.SelectionProblem` tables are memoized
+  per process, so a config appearing in several grids is generated and
+  chased once;
+* **per-cell timing** — every :class:`GridCell` records scenario
+  generation, problem build, and solve time separately;
+* **warm starting** — in serial runs the collective method chains ADMM
+  warm starts across the cells of a sweep lane (one lane per seed) via
+  :class:`~repro.selection.collective.WarmStartedCollective`.
+
+:func:`repro.evaluation.harness.run_methods`, the CLI ``sweep``/``select``
+commands, and :mod:`benchmarks.sweeps` all sit on top of this module.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Callable, Mapping, Sequence
+
+from repro.errors import ReproError
+from repro.executors import MapExecutor, SerialExecutor, resolve_executor
+from repro.ibench.config import ScenarioConfig
+from repro.ibench.generator import generate_scenario
+from repro.ibench.scenario import Scenario
+from repro.selection.baselines import select_all, solve_independent
+from repro.selection.collective import WarmStartedCollective, solve_collective
+from repro.selection.exact import SelectionResult, solve_branch_and_bound
+from repro.selection.greedy import solve_greedy
+from repro.selection.metrics import SelectionProblem, build_selection_problem
+
+Solver = Callable[[SelectionProblem], SelectionResult]
+
+#: Every selection method the engine can run by name.  Values are
+#: module-level callables, so the registry survives pickling into workers.
+METHOD_REGISTRY: dict[str, Solver] = {
+    "collective": solve_collective,
+    "greedy": solve_greedy,
+    "all-candidates": select_all,
+    "exact": solve_branch_and_bound,
+    "independent": solve_independent,
+}
+
+#: The methods the paper's figures sweep over, in column order.
+DEFAULT_GRID_METHODS = ("collective", "greedy", "all-candidates")
+
+
+@dataclass(frozen=True)
+class CellTiming:
+    """Wall-clock breakdown of one grid cell.
+
+    Generation and problem-build time are attributed to the first cell
+    that needed the scenario; cells served from the cache report 0.0.
+    """
+
+    generate_seconds: float
+    problem_seconds: float
+    solve_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.generate_seconds + self.problem_seconds + self.solve_seconds
+
+
+@dataclass(frozen=True)
+class GridCell:
+    """One (scenario config, method) evaluation outcome."""
+
+    config: ScenarioConfig
+    method: str
+    run: "MethodRun"
+    timing: CellTiming
+
+
+class ScenarioCache:
+    """Memoizes scenarios and their selection problems by config.
+
+    One instance lives in each worker process (module-level singleton) and
+    one in the driving process, so repeated grid points never re-chase.
+    """
+
+    def __init__(self, problem_executor: MapExecutor | str | None = None):
+        self._scenarios: dict[ScenarioConfig, tuple[Scenario, float]] = {}
+        self._problems: dict[ScenarioConfig, tuple[SelectionProblem, float]] = {}
+        self.problem_executor = problem_executor
+
+    def scenario(self, config: ScenarioConfig) -> tuple[Scenario, float]:
+        """The scenario for *config* plus the seconds spent generating it
+        (0.0 on a cache hit)."""
+        hit = self._scenarios.get(config)
+        if hit is not None:
+            return hit[0], 0.0
+        start = time.perf_counter()
+        scenario = generate_scenario(config)
+        elapsed = time.perf_counter() - start
+        self._scenarios[config] = (scenario, elapsed)
+        return scenario, elapsed
+
+    def problem(self, config: ScenarioConfig) -> tuple[SelectionProblem, float]:
+        """The selection problem for *config* plus build seconds (0.0 on hit)."""
+        hit = self._problems.get(config)
+        if hit is not None:
+            return hit[0], 0.0
+        scenario, _ = self.scenario(config)
+        start = time.perf_counter()
+        problem = build_selection_problem(
+            scenario.source, scenario.target, scenario.candidates,
+            executor=self.problem_executor,
+        )
+        elapsed = time.perf_counter() - start
+        self._problems[config] = (problem, elapsed)
+        return problem, elapsed
+
+    def clear(self) -> None:
+        self._scenarios.clear()
+        self._problems.clear()
+
+
+#: Per-process cache used by worker-side jobs.
+_PROCESS_CACHE = ScenarioCache()
+
+
+@dataclass(frozen=True)
+class ConfigCells:
+    """A picklable work unit: run *methods* on the scenario of *config*."""
+
+    config: ScenarioConfig
+    methods: tuple[str, ...]
+    include_gold: bool = False
+
+    def __call__(self) -> list[GridCell]:
+        return evaluate_config_cells(self)
+
+
+def run_scenario(
+    scenario: Scenario,
+    methods: Mapping[str, Solver],
+    problem: SelectionProblem | None = None,
+    include_gold: bool = True,
+    config: ScenarioConfig | None = None,
+    generate_seconds: float = 0.0,
+    problem_seconds: float = 0.0,
+) -> list[GridCell]:
+    """Run each solver in *methods* on one prepared scenario.
+
+    The engine-level primitive under both the config-grid path and
+    :func:`repro.evaluation.harness.run_methods` — any name→solver mapping
+    works, including stateful solver instances.
+    """
+    from repro.evaluation.harness import score_selection
+
+    config = config if config is not None else scenario.config
+    if problem is None:
+        start = time.perf_counter()
+        problem = scenario.selection_problem()
+        problem_seconds += time.perf_counter() - start
+
+    cells: list[GridCell] = []
+    for method, solver in methods.items():
+        start = time.perf_counter()
+        result = solver(problem)
+        solve_seconds = time.perf_counter() - start
+        run = score_selection(
+            scenario, problem, method, result.selected, result.objective, solve_seconds
+        )
+        cells.append(
+            GridCell(
+                config=config,
+                method=method,
+                run=run,
+                timing=CellTiming(generate_seconds, problem_seconds, solve_seconds),
+            )
+        )
+        # Only the first cell of a scenario pays the shared build costs.
+        generate_seconds = problem_seconds = 0.0
+
+    if include_gold:
+        from repro.selection.objective import objective_value
+
+        gold = frozenset(scenario.gold_indices)
+        run = score_selection(
+            scenario, problem, "gold", gold, objective_value(problem, gold), 0.0
+        )
+        cells.append(
+            GridCell(
+                config=config,
+                method="gold",
+                run=run,
+                timing=CellTiming(generate_seconds, problem_seconds, 0.0),
+            )
+        )
+    return cells
+
+
+def evaluate_config_cells(
+    work: ConfigCells,
+    cache: ScenarioCache | None = None,
+    solvers: Mapping[str, Solver] | None = None,
+) -> list[GridCell]:
+    """Evaluate one config's cells (the executor-side entry point).
+
+    *solvers* overrides registry lookups per method name — the hook the
+    serial path uses to substitute warm-started solver instances.
+    """
+    cache = cache if cache is not None else _PROCESS_CACHE
+    unknown = [m for m in work.methods if m not in METHOD_REGISTRY]
+    if unknown:
+        raise ReproError(f"unknown methods {unknown}; known: {sorted(METHOD_REGISTRY)}")
+    scenario, generate_seconds = cache.scenario(work.config)
+    problem, problem_seconds = cache.problem(work.config)
+    methods = {
+        m: (solvers or {}).get(m) or METHOD_REGISTRY[m] for m in work.methods
+    }
+    return run_scenario(
+        scenario,
+        methods,
+        problem=problem,
+        include_gold=work.include_gold,
+        config=work.config,
+        generate_seconds=generate_seconds,
+        problem_seconds=problem_seconds,
+    )
+
+
+def _run_work_unit(work: ConfigCells) -> list[GridCell]:
+    """Module-level adapter so process pools can pickle the job."""
+    return evaluate_config_cells(work)
+
+
+@dataclass
+class GridResult:
+    """All cells of a grid run, with structured accessors."""
+
+    cells: list[GridCell] = field(default_factory=list)
+
+    def by_method(self, method: str) -> list[GridCell]:
+        return [c for c in self.cells if c.method == method]
+
+    def for_config(self, config: ScenarioConfig) -> list[GridCell]:
+        return [c for c in self.cells if c.config == config]
+
+    def methods(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for c in self.cells:
+            seen.setdefault(c.method, None)
+        return list(seen)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(c.timing.total_seconds for c in self.cells)
+
+
+class EvaluationEngine:
+    """Runs (scenario × method × seed) grids through a pluggable executor.
+
+    Args:
+        methods: method names to run per scenario (registry keys);
+            defaults to the paper's sweep columns.
+        executor: where config jobs run — ``None``/``"serial"`` (default),
+            ``"process[:N]"``, or a custom
+            :class:`~repro.executors.MapExecutor`.
+        include_gold: add the gold-reference row per scenario.
+        warm_start: chain ADMM warm starts for the collective method
+            across a seed's cells (serial executor only; process workers
+            are stateless, so chaining is skipped there).
+        cache: scenario cache for the serial path; defaults to a fresh
+            private cache.
+    """
+
+    def __init__(
+        self,
+        methods: Sequence[str] | None = None,
+        executor: MapExecutor | str | None = None,
+        include_gold: bool = True,
+        warm_start: bool = True,
+        cache: ScenarioCache | None = None,
+    ):
+        self.methods = tuple(methods if methods is not None else DEFAULT_GRID_METHODS)
+        self.executor = resolve_executor(executor)
+        self.include_gold = include_gold
+        self.warm_start = warm_start
+        self.cache = cache if cache is not None else ScenarioCache()
+
+    def run_grid(self, configs: Sequence[ScenarioConfig]) -> GridResult:
+        """Evaluate every config; cells come back in (config, method) order."""
+        jobs = [
+            ConfigCells(config, self.methods, include_gold=self.include_gold)
+            for config in configs
+        ]
+        if isinstance(self.executor, SerialExecutor):
+            cells = self._run_serial(jobs)
+        else:
+            nested = self.executor.map(_run_work_unit, jobs)
+            cells = [cell for group in nested for cell in group]
+        return GridResult(cells)
+
+    def _run_serial(self, jobs: Sequence[ConfigCells]) -> list[GridCell]:
+        # One warm-start lane per (method, seed): successive levels of a
+        # sweep re-solve a near-identical relaxation, so the previous
+        # fractional optimum is an excellent ADMM starting point.
+        lanes: dict[tuple[str, int], WarmStartedCollective] = {}
+        cells: list[GridCell] = []
+        for job in jobs:
+            solvers: dict[str, Solver] = {}
+            if self.warm_start and "collective" in job.methods:
+                key = ("collective", job.config.seed)
+                solvers["collective"] = lanes.setdefault(key, WarmStartedCollective())
+            cells.extend(evaluate_config_cells(job, cache=self.cache, solvers=solvers))
+        return cells
+
+    def sweep(
+        self,
+        base: ScenarioConfig,
+        noise: str,
+        levels: Sequence[float],
+        seeds: Sequence[int],
+    ) -> "SweepResult":
+        """Run the paper's quality-vs-noise grid and aggregate per level."""
+        if noise not in ("pi_corresp", "pi_errors", "pi_unexplained"):
+            raise ReproError(f"unknown noise parameter {noise!r}")
+        configs = [
+            replace(base, seed=seed, **{noise: float(level)})
+            for level in levels
+            for seed in seeds
+        ]
+        result = self.run_grid(configs)
+        return SweepResult(
+            noise=noise,
+            levels=tuple(float(level) for level in levels),
+            seeds=tuple(seeds),
+            grid=result,
+        )
+
+
+@dataclass
+class SweepResult:
+    """A noise sweep's cells plus figure-ready aggregation."""
+
+    noise: str
+    levels: tuple[float, ...]
+    seeds: tuple[int, ...]
+    grid: GridResult
+
+    def mean_f1_rows(self, methods: Sequence[str] | None = None) -> list[list[float]]:
+        """``[level, mean data-F1 per method...]`` rows, sweep order."""
+        from repro.evaluation.reporting import mean
+
+        methods = list(methods if methods is not None else self.grid.methods())
+        rows = []
+        for level in self.levels:
+            per_method: dict[str, list[float]] = {m: [] for m in methods}
+            for cell in self.grid.cells:
+                if getattr(cell.config, self.noise) == level and cell.method in per_method:
+                    per_method[cell.method].append(cell.run.data.f1)
+            rows.append([level] + [mean(per_method[m]) for m in methods])
+        return rows

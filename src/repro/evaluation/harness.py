@@ -7,7 +7,6 @@ exact columns the paper's evaluation figures plot.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from fractions import Fraction
 from typing import Callable, Mapping
@@ -55,25 +54,19 @@ def run_methods(
     problem: SelectionProblem | None = None,
     include_gold: bool = True,
 ) -> list[MethodRun]:
-    """Score each method on *scenario*; optionally add the gold reference row."""
+    """Score each method on *scenario*; optionally add the gold reference row.
+
+    A thin wrapper over :func:`repro.evaluation.engine.run_scenario` — use
+    :class:`repro.evaluation.engine.EvaluationEngine` directly for grids,
+    caching, parallel execution, and per-cell timing breakdowns.
+    """
+    from repro.evaluation.engine import run_scenario
+
     methods = dict(methods if methods is not None else DEFAULT_METHODS)
-    problem = problem if problem is not None else scenario.selection_problem()
-
-    runs: list[MethodRun] = []
-    for name, solver in methods.items():
-        start = time.perf_counter()
-        result = solver(problem)
-        elapsed = time.perf_counter() - start
-        runs.append(_score(scenario, problem, name, result.selected, result.objective, elapsed))
-
-    if include_gold:
-        from repro.selection.objective import objective_value
-
-        gold = frozenset(scenario.gold_indices)
-        runs.append(
-            _score(scenario, problem, "gold", gold, objective_value(problem, gold), 0.0)
-        )
-    return runs
+    cells = run_scenario(
+        scenario, methods, problem=problem, include_gold=include_gold
+    )
+    return [cell.run for cell in cells]
 
 
 def exact_method(problem: SelectionProblem) -> SelectionResult:
@@ -81,7 +74,7 @@ def exact_method(problem: SelectionProblem) -> SelectionResult:
     return solve_branch_and_bound(problem)
 
 
-def _score(
+def score_selection(
     scenario: Scenario,
     problem: SelectionProblem,
     name: str,
@@ -89,6 +82,7 @@ def _score(
     objective: Fraction,
     seconds: float,
 ) -> MethodRun:
+    """Quality-score one method's selection against the scenario's gold."""
     tgds = [problem.candidates[i] for i in sorted(selected)]
     return MethodRun(
         method=name,

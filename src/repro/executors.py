@@ -1,0 +1,98 @@
+"""Pluggable map-style executors for embarrassingly parallel work.
+
+The selection pipeline and the evaluation engine both fan out over
+independent, picklable work units (one per candidate, one per grid cell).
+This module gives them a common, minimal execution abstraction:
+
+* :class:`SerialExecutor` — in-process ``map``; zero overhead, always
+  available, shares in-process caches with the caller;
+* :class:`ProcessExecutor` — ``concurrent.futures.ProcessPoolExecutor``
+  with chunked dispatch; true multi-core parallelism for CPU-bound pure
+  Python work.
+
+Both preserve input order, so callers get deterministic merges for free.
+``resolve_executor`` turns user-facing specs (``"serial"``, ``"process"``,
+``"process:8"``) into executor objects — the form the CLI exposes.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterator, Protocol, Sequence, TypeVar
+
+from repro.errors import ReproError
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+class MapExecutor(Protocol):
+    """Anything that maps a picklable function over work units in order."""
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> Iterator[R]:
+        ...
+
+
+class SerialExecutor:
+    """Run work units one after another in the calling process."""
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> Iterator[R]:
+        return map(fn, list(items))
+
+    def __repr__(self) -> str:
+        return "SerialExecutor()"
+
+
+class ProcessExecutor:
+    """Run work units in a pool of worker processes.
+
+    A fresh pool is created per :meth:`map` call, so the executor object
+    itself stays picklable and stateless.  Work is dispatched in chunks to
+    amortize IPC; results come back in submission order.
+    """
+
+    def __init__(self, max_workers: int | None = None):
+        self.max_workers = max_workers or os.cpu_count() or 1
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> Iterator[R]:
+        items = list(items)
+        if len(items) <= 1 or self.max_workers <= 1:
+            return map(fn, items)
+        chunksize = max(1, len(items) // (self.max_workers * 4))
+        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+            # Materialize inside the context manager so the pool is not
+            # torn down while results are still streaming.
+            return iter(list(pool.map(fn, items, chunksize=chunksize)))
+
+    def __repr__(self) -> str:
+        return f"ProcessExecutor(max_workers={self.max_workers})"
+
+
+def resolve_executor(spec: object | None) -> MapExecutor:
+    """Resolve an executor spec into an executor instance.
+
+    Accepts ``None`` / ``"serial"`` (serial), ``"process"`` (one worker
+    per CPU), ``"process:N"`` (N workers), or any object that already has
+    a ``map`` method (returned as-is).
+    """
+    if spec is None:
+        return SerialExecutor()
+    if isinstance(spec, str):
+        name, _, arg = spec.partition(":")
+        if name == "serial":
+            return SerialExecutor()
+        if name == "process":
+            if arg:
+                try:
+                    workers = int(arg)
+                except ValueError:
+                    raise ReproError(f"bad worker count in executor spec {spec!r}")
+                if workers < 1:
+                    raise ReproError(f"worker count must be >= 1 in {spec!r}")
+                return ProcessExecutor(workers)
+            return ProcessExecutor()
+        raise ReproError(f"unknown executor spec {spec!r} (use 'serial' or 'process[:N]')")
+    if hasattr(spec, "map"):
+        return spec  # type: ignore[return-value]
+    raise ReproError(f"cannot interpret {spec!r} as an executor")

@@ -11,7 +11,7 @@ this package re-implements the needed core in pure Python + numpy:
 * discrete rounding utilities (:mod:`repro.psl.rounding`).
 """
 
-from repro.psl.admm import AdmmResult, AdmmSettings, AdmmSolver
+from repro.psl.admm import AdmmResult, AdmmSettings, AdmmSolver, AdmmWarmState
 from repro.psl.database import Database
 from repro.psl.hlmrf import HardConstraint, HingeLossMRF, HingePotential
 from repro.psl.learning import RuleLearningResult, learn_rule_weights, rule_features
@@ -29,6 +29,7 @@ __all__ = [
     "AdmmResult",
     "AdmmSettings",
     "AdmmSolver",
+    "AdmmWarmState",
     "Database",
     "GroundAtom",
     "HardConstraint",

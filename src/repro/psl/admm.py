@@ -41,6 +41,23 @@ class AdmmSettings:
 
 
 @dataclass
+class AdmmWarmState:
+    """Full ADMM state (consensus vector + local duals) for warm restarts.
+
+    Primal-only warm starts barely help consensus ADMM: with the duals
+    reset to zero the solver spends nearly the full iteration budget
+    re-building them even when started at the optimum.  Carrying ``u``
+    alongside ``z`` is what makes re-solves of the same (or a slightly
+    perturbed) problem fast.  The state is only meaningful for an MRF
+    with the same grounding structure; :meth:`AdmmSolver.solve` ignores
+    a state whose shapes do not match.
+    """
+
+    z: np.ndarray
+    u: np.ndarray
+
+
+@dataclass
 class AdmmResult:
     """Solution vector plus convergence diagnostics."""
 
@@ -50,6 +67,7 @@ class AdmmResult:
     primal_residual: float
     dual_residual: float
     energy: float
+    state: AdmmWarmState | None = None
 
 
 class AdmmSolver:
@@ -99,24 +117,44 @@ class AdmmSolver:
         degree = np.bincount(self._var, minlength=self._n).astype(np.float64)
         self._degree = np.maximum(degree, 1.0)
 
-    def solve(self, warm_start: np.ndarray | None = None) -> AdmmResult:
-        """Run ADMM to convergence (or the iteration cap)."""
+    def solve(
+        self,
+        warm_start: np.ndarray | None = None,
+        warm_state: AdmmWarmState | None = None,
+    ) -> AdmmResult:
+        """Run ADMM to convergence (or the iteration cap).
+
+        *warm_start* seeds only the consensus vector; *warm_state* (from a
+        previous :attr:`AdmmResult.state`) additionally restores the local
+        duals and takes precedence when its shapes match this problem.
+        """
         settings = self._settings
         n, copies = self._n, len(self._var)
-        z = (
-            np.clip(warm_start.astype(np.float64), 0.0, 1.0)
-            if warm_start is not None
-            else np.full(n, 0.5)
+        use_state = (
+            warm_state is not None
+            and warm_state.z.shape == (n,)
+            and warm_state.u.shape == (copies,)
         )
+        if use_state:
+            z = np.clip(warm_state.z.astype(np.float64), 0.0, 1.0)
+        elif warm_start is not None:
+            z = np.clip(warm_start.astype(np.float64), 0.0, 1.0)
+        else:
+            z = np.full(n, 0.5)
         if copies == 0:
-            return AdmmResult(z, 0, True, 0.0, 0.0, self._mrf.energy(z))
+            return AdmmResult(
+                z, 0, True, 0.0, 0.0, self._mrf.energy(z),
+                state=AdmmWarmState(z.copy(), np.zeros(0)),
+            )
 
-        u = np.zeros(copies)
+        u = warm_state.u.astype(np.float64).copy() if use_state else np.zeros(copies)
         x_local = z[self._var].copy()
         rho = settings.rho
         primal = dual = float("inf")
         iteration = 0
         converged = False
+        z_old = z
+        checked_at = -1
 
         for iteration in range(1, settings.max_iterations + 1):
             # --- local updates: x_local = v - lambda[term] * a ------------
@@ -167,6 +205,7 @@ class AdmmSolver:
             u = u + x_local - z[self._var]
 
             if iteration % settings.check_every == 0:
+                checked_at = iteration
                 primal = float(np.linalg.norm(x_local - z[self._var]))
                 dual = float(rho * np.linalg.norm((z - z_old)[self._var]))
                 eps = settings.epsilon_abs * np.sqrt(copies) + settings.epsilon_rel * max(
@@ -176,6 +215,18 @@ class AdmmSolver:
                     converged = True
                     break
 
+        if iteration > 0 and checked_at != iteration:
+            # The loop exited between convergence checks (or never reached
+            # one, e.g. max_iterations < check_every): report residuals of
+            # the final iterate instead of a stale/inf value, and credit
+            # convergence if the final point already satisfies the tolerance.
+            primal = float(np.linalg.norm(x_local - z[self._var]))
+            dual = float(rho * np.linalg.norm((z - z_old)[self._var]))
+            eps = settings.epsilon_abs * np.sqrt(copies) + settings.epsilon_rel * max(
+                float(np.linalg.norm(x_local)), float(np.linalg.norm(z[self._var]))
+            )
+            converged = primal < eps and dual < eps
+
         return AdmmResult(
             x=z,
             iterations=iteration,
@@ -183,4 +234,5 @@ class AdmmSolver:
             primal_residual=primal,
             dual_residual=dual,
             energy=self._mrf.energy(z),
+            state=AdmmWarmState(z.copy(), u.copy()),
         )

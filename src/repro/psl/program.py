@@ -23,7 +23,7 @@ from typing import Iterable, Mapping, Sequence
 import numpy as np
 
 from repro.errors import GroundingError, InferenceError
-from repro.psl.admm import AdmmResult, AdmmSettings, AdmmSolver
+from repro.psl.admm import AdmmResult, AdmmSettings, AdmmSolver, AdmmWarmState
 from repro.psl.database import Database
 from repro.psl.grounding import ground_rule, linearize
 from repro.psl.hlmrf import HingeLossMRF
@@ -175,8 +175,15 @@ class PslProgram:
         settings: AdmmSettings | None = None,
         warm_start: Mapping[GroundAtom, float] | None = None,
         weight_overrides: Mapping[Rule, float] | None = None,
+        warm_state: "AdmmWarmState | None" = None,
     ) -> InferenceResult:
-        """Ground, solve MAP by ADMM, and read back target truths."""
+        """Ground, solve MAP by ADMM, and read back target truths.
+
+        *warm_start* seeds consensus values per atom; *warm_state* (a
+        previous result's ``admm.state``) restores the full ADMM state
+        and is only honoured when the grounding structure is unchanged
+        (the solver checks the shapes).
+        """
         mrf = self.ground(weight_overrides)
         start = None
         if warm_start:
@@ -186,7 +193,7 @@ class PslProgram:
                     start[mrf.index_of(atom)] = value
                 except InferenceError:
                     pass
-        result = AdmmSolver(mrf, settings).solve(start)
+        result = AdmmSolver(mrf, settings).solve(start, warm_state=warm_state)
         assignment = {
             atom: float(result.x[mrf.index_of(atom)]) for atom in self.database.targets
         }

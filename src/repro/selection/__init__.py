@@ -9,6 +9,7 @@ from repro.selection.baselines import (
 from repro.selection.collective import (
     CollectiveResult,
     CollectiveSettings,
+    WarmStartedCollective,
     build_program,
     solve_collective,
 )
@@ -19,7 +20,14 @@ from repro.selection.exact import (
 )
 from repro.selection.greedy import solve_greedy
 from repro.selection.kbest import KBestResult, solve_k_best
-from repro.selection.metrics import SelectionProblem, build_selection_problem
+from repro.selection.metrics import (
+    CandidateTables,
+    SelectionProblem,
+    build_selection_problem,
+    evaluate_candidate,
+    merge_candidate_tables,
+    problem_fingerprint,
+)
 from repro.selection.sampling import SampledProblem, sample_selection_problem
 from repro.selection.weight_learning import (
     LearningResult,
@@ -51,12 +59,17 @@ __all__ = [
     "ObjectiveWeights",
     "KBestResult",
     "LearningResult",
+    "CandidateTables",
     "PreprocessResult",
     "SampledProblem",
     "SelectionProblem",
     "SelectionResult",
+    "WarmStartedCollective",
     "build_program",
     "build_selection_problem",
+    "evaluate_candidate",
+    "merge_candidate_tables",
+    "problem_fingerprint",
     "objective_breakdown",
     "objective_value",
     "drop_certain_unexplained",

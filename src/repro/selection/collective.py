@@ -31,9 +31,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from fractions import Fraction
+from typing import Mapping
 
 from repro.datamodel.instance import Fact
-from repro.psl.admm import AdmmSettings
+from repro.psl.admm import AdmmSettings, AdmmWarmState
 from repro.psl.program import PslProgram
 from repro.psl.rounding import round_solution
 from repro.selection.exact import SelectionResult
@@ -64,6 +65,7 @@ class CollectiveResult(SelectionResult):
     converged: bool = True
     num_potentials: int = 0
     num_constraints: int = 0
+    admm_state: AdmmWarmState | None = None
 
 
 def build_program(
@@ -137,11 +139,31 @@ def build_program(
 def solve_collective(
     problem: SelectionProblem,
     settings: CollectiveSettings | None = None,
+    warm_start: Mapping[int, float] | None = None,
+    warm_state: AdmmWarmState | None = None,
 ) -> CollectiveResult:
-    """Run the paper's pipeline: relax, infer with ADMM, round, score."""
+    """Run the paper's pipeline: relax, infer with ADMM, round, score.
+
+    *warm_start* maps candidate indices to fractional memberships from a
+    previous solve (e.g. the neighbouring point of a parameter sweep); the
+    ADMM consensus vector starts from those values instead of 0.5.
+    *warm_state* restores the previous solve's full ADMM state (consensus
+    + duals) and is what actually cuts iterations when the grounding
+    structure is unchanged, e.g. across weight-only re-solves; it is
+    ignored (shape check) when the structure differs.  The relaxation is
+    convex, so *converged* solves reach the same optimum from any start;
+    if ADMM exits at the iteration cap the truncated iterate does depend
+    on the start (check ``CollectiveResult.converged``).  Indices unknown
+    to this problem are ignored.
+    """
     settings = settings or CollectiveSettings()
     program, in_atoms = build_program(problem, settings)
-    inference = program.infer(settings.admm)
+    start = None
+    if warm_start:
+        start = {
+            in_atoms[i]: float(v) for i, v in warm_start.items() if i in in_atoms
+        }
+    inference = program.infer(settings.admm, warm_start=start, warm_state=warm_state)
 
     fractional = {i: inference.truth(atom) for i, atom in in_atoms.items()}
 
@@ -161,4 +183,55 @@ def solve_collective(
         converged=inference.converged,
         num_potentials=inference.num_potentials,
         num_constraints=inference.num_constraints,
+        admm_state=inference.admm.state,
     )
+
+
+class WarmStartedCollective:
+    """A collective solver that chains warm starts across successive calls.
+
+    Re-solving the HL-MRF at every point of a sweep (noise levels, weight
+    settings) wastes the fact that neighbouring points have near-identical
+    optima.  This callable keeps the previous call's fractional ``in``
+    memberships *and* its full ADMM state (consensus + duals) and feeds
+    both to :func:`solve_collective` — the standard warm-start trick of
+    the surrogate-optimization literature applied across sweep points.
+    When the grounding structure is unchanged (weight-only re-solves)
+    the dual state is restored and the solver converges in a handful of
+    iterations; when it differs (noise changed the example) the solver
+    falls back to the fractional-membership start.  Candidate indices
+    carry over positionally, so chaining is most effective when
+    successive problems share their candidate grid.
+
+    Only *converged* solves are chained: a solve truncated at the
+    iteration cap yields a start-dependent iterate, and feeding it
+    forward could make warm-started sweeps diverge from cold ones.  After
+    an unconverged solve the chain resets and the next call starts cold.
+
+    Instances satisfy the harness ``Solver`` protocol; each engine sweep
+    lane gets its own instance, so there is no cross-talk between seeds.
+    """
+
+    def __init__(self, settings: CollectiveSettings | None = None):
+        self._settings = settings
+        self._previous: dict[int, float] | None = None
+        self._previous_state: AdmmWarmState | None = None
+
+    def __call__(self, problem: SelectionProblem) -> CollectiveResult:
+        result = solve_collective(
+            problem,
+            self._settings,
+            warm_start=self._previous,
+            warm_state=self._previous_state,
+        )
+        if result.converged:
+            self._previous = dict(result.fractional)
+            self._previous_state = result.admm_state
+        else:
+            self.reset()
+        return result
+
+    def reset(self) -> None:
+        """Forget the chained state (start the next call cold)."""
+        self._previous = None
+        self._previous_state = None

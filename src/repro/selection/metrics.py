@@ -8,22 +8,35 @@ Selecting a mapping only needs three ingredients per candidate theta:
   homomorphic image in J);
 * ``size(theta_i)``.
 
-:func:`build_selection_problem` chases the source once per candidate with
-a shared null factory and evaluates the homomorphism-based semantics of
+:func:`build_selection_problem` chases the source once per candidate and
+evaluates the homomorphism-based semantics of
 :mod:`repro.homomorphism.covers`.  All downstream solvers (exact, greedy,
 collective/PSL) consume the resulting :class:`SelectionProblem`, so they
 optimize exactly the same objective.
+
+The per-candidate work (chase + cover table + error set) is independent
+across candidates, so it runs through a pluggable
+:class:`~repro.executors.MapExecutor`: serially by default, or on a
+process pool for multi-core builds.  Each work unit chases with a private
+null factory counting from zero; the merge then shifts every candidate's
+null labels by the number of nulls its predecessors consumed.  That
+reproduces, byte for byte, the labels a single shared
+:class:`~repro.datamodel.values.NullFactory` threaded through a serial
+loop would have handed out — candidates still never share a null, and the
+result is independent of the executor used.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from fractions import Fraction
+from functools import partial
 from typing import Iterable, Sequence
 
 from repro.chase.engine import chase
+from repro.executors import MapExecutor, resolve_executor
 from repro.datamodel.instance import Fact, Instance
-from repro.datamodel.values import NullFactory
+from repro.datamodel.values import LabeledNull, NullFactory
 from repro.errors import SelectionError
 from repro.homomorphism.covers import CoverComputer, creates
 from repro.mappings.tgd import StTgd
@@ -98,39 +111,168 @@ class SelectionProblem:
         return [t for t in self.j_facts if t not in coverable]
 
 
-def build_selection_problem(
+def problem_fingerprint(problem: SelectionProblem) -> bytes:
+    """A canonical byte serialization of a problem's metric tables.
+
+    Two problems fingerprint equally iff their j_facts, cover tables,
+    error sets, sizes, and chase instances agree — independent of dict/set
+    iteration order or the process that produced them.  Used to verify
+    that serial and parallel builds are byte-identical.
+    """
+    import json
+
+    payload = {
+        "j_facts": [repr(t) for t in problem.j_facts],
+        "covers": [
+            sorted((repr(t), str(d)) for t, d in table.items())
+            for table in problem.covers
+        ],
+        "errors": [sorted(repr(f) for f in errs) for errs in problem.error_facts],
+        "sizes": list(problem.sizes),
+        "chase": [
+            sorted(repr(f) for f in inst) for inst in problem.chase_by_candidate
+        ],
+        "candidates": [repr(c) for c in problem.candidates],
+    }
+    return json.dumps(payload, sort_keys=True).encode()
+
+
+class _CountingNullFactory(NullFactory):
+    """A null factory that remembers how many nulls it handed out."""
+
+    def __init__(self) -> None:
+        super().__init__(0)
+        self.used = 0
+
+    def fresh(self) -> LabeledNull:
+        self.used += 1
+        return super().fresh()
+
+
+@dataclass(frozen=True)
+class CandidateTables:
+    """The metric tables of one candidate, with candidate-local null labels.
+
+    ``nulls_used`` is the number of fresh nulls the candidate's chase
+    consumed (its local labels are exactly ``0 .. nulls_used - 1``); the
+    merge uses it to relabel into the global, collision-free label space.
+    """
+
+    index: int
+    chase_facts: tuple[Fact, ...]
+    covers: dict[Fact, Fraction]
+    error_facts: frozenset[Fact]
+    nulls_used: int
+
+    def shifted(self, offset: int) -> tuple[Instance, frozenset[Fact]]:
+        """The chase instance and error set with null labels moved by *offset*."""
+        if offset == 0:
+            return Instance(self.chase_facts), self.error_facts
+        remap = {
+            LabeledNull(label): LabeledNull(label + offset)
+            for label in range(self.nulls_used)
+        }
+        chase_instance = Instance(f.substitute(remap) for f in self.chase_facts)
+        errors = frozenset(f.substitute(remap) for f in self.error_facts)
+        return chase_instance, errors
+
+
+def evaluate_candidate(
+    source: Instance,
+    target: Instance,
+    candidate: StTgd,
+    index: int = 0,
+) -> CandidateTables:
+    """The per-candidate work unit: chase, cover table, error set.
+
+    Pure and picklable — safe to ship to a worker process.  Null labels in
+    the result are candidate-local (they start at 0).
+    """
+    factory = _CountingNullFactory()
+    k_theta = chase(source, [candidate], factory).by_tgd[candidate]
+    computer = CoverComputer(k_theta, target)
+    table: dict[Fact, Fraction] = {}
+    for t in sorted(target, key=repr):
+        degree = computer.degree(t)
+        if degree > 0:
+            table[t] = degree
+    return CandidateTables(
+        index=index,
+        chase_facts=tuple(sorted(k_theta, key=repr)),
+        covers=table,
+        error_facts=frozenset(f for f in k_theta if creates(f, target)),
+        nulls_used=factory.used,
+    )
+
+
+def _evaluate_indexed(
+    source: Instance, target: Instance, work: tuple[int, StTgd]
+) -> CandidateTables:
+    """Adapter for executor ``map``: bind (source, target) via ``partial``.
+
+    Keeping the shared instances in the function (pickled once per
+    dispatch chunk) instead of in every work item avoids serializing the
+    full source/target once per candidate on the process-pool path.
+    """
+    index, candidate = work
+    return evaluate_candidate(source, target, candidate, index)
+
+
+def merge_candidate_tables(
     source: Instance,
     target: Instance,
     candidates: Sequence[StTgd],
+    results: Iterable[CandidateTables],
 ) -> SelectionProblem:
-    """Chase each candidate and materialize covers/creates/size tables."""
-    if not all(isinstance(c, StTgd) for c in candidates):
-        raise SelectionError("candidates must be StTgd objects")
-    factory = NullFactory()
+    """Deterministically merge per-candidate tables into a SelectionProblem.
+
+    Results may arrive in any order; they are realigned by index and each
+    candidate's local null labels are shifted past all labels consumed by
+    earlier candidates — exactly the labels one shared factory would give.
+    """
+    ordered = sorted(results, key=lambda r: r.index)
+    if [r.index for r in ordered] != list(range(len(candidates))):
+        raise SelectionError("candidate tables do not cover the candidate list")
     covers_tables: list[dict[Fact, Fraction]] = []
     error_sets: list[frozenset[Fact]] = []
     chases: list[Instance] = []
-    j_facts = sorted(target, key=repr)
-
-    for candidate in candidates:
-        k_theta = chase(source, [candidate], factory).by_tgd[candidate]
-        chases.append(k_theta)
-        computer = CoverComputer(k_theta, target)
-        table: dict[Fact, Fraction] = {}
-        for t in j_facts:
-            degree = computer.degree(t)
-            if degree > 0:
-                table[t] = degree
-        covers_tables.append(table)
-        error_sets.append(frozenset(f for f in k_theta if creates(f, target)))
+    offset = 0
+    for result in ordered:
+        chase_instance, errors = result.shifted(offset)
+        offset += result.nulls_used
+        chases.append(chase_instance)
+        covers_tables.append(dict(result.covers))
+        error_sets.append(errors)
 
     return SelectionProblem(
         candidates=list(candidates),
         source=source,
         target=target,
-        j_facts=j_facts,
+        j_facts=sorted(target, key=repr),
         covers=covers_tables,
         error_facts=error_sets,
         sizes=[c.size for c in candidates],
         chase_by_candidate=chases,
+    )
+
+
+def build_selection_problem(
+    source: Instance,
+    target: Instance,
+    candidates: Sequence[StTgd],
+    executor: MapExecutor | str | None = None,
+) -> SelectionProblem:
+    """Chase each candidate and materialize covers/creates/size tables.
+
+    *executor* selects where the per-candidate work runs: ``None`` /
+    ``"serial"`` for the calling process, ``"process[:N]"`` (or any
+    :class:`~repro.executors.MapExecutor`) for a worker pool.  The
+    resulting problem is identical whichever executor is used.
+    """
+    if not all(isinstance(c, StTgd) for c in candidates):
+        raise SelectionError("candidates must be StTgd objects")
+    executor = resolve_executor(executor)
+    evaluate = partial(_evaluate_indexed, source, target)
+    return merge_candidate_tables(
+        source, target, candidates, executor.map(evaluate, list(enumerate(candidates)))
     )

@@ -24,7 +24,18 @@ from repro.selection.metrics import SelectionProblem
 
 @dataclass(frozen=True)
 class ObjectiveWeights:
-    """Positive weights for the three objective terms (all 1 in the paper)."""
+    """Non-negative weights for the three objective terms (all 1 in the paper).
+
+    A weight of exactly 0 is accepted and simply switches its term off.
+    This is deliberate: ablations and the fact-sampling estimator (which
+    rescales ``explains`` by the sampled fraction, reaching 0 for an empty
+    sample) both rely on it.  Note, however, that Theorem 1's NP-hardness
+    statement assumes *strictly positive* weights — with a zero weight the
+    optimization problem changes character (e.g. ``size=0`` makes adding
+    error-free candidates free), so complexity guarantees no longer carry
+    over.  Negative weights are rejected: they would invert a term's
+    meaning and break every solver's pruning arguments.
+    """
 
     explains: Fraction = Fraction(1)
     errors: Fraction = Fraction(1)

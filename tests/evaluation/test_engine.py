@@ -1,0 +1,102 @@
+"""Tests for the grid-evaluation engine (caching, timing, parallel cells)."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.evaluation.engine import (
+    DEFAULT_GRID_METHODS,
+    METHOD_REGISTRY,
+    ConfigCells,
+    EvaluationEngine,
+    ScenarioCache,
+    evaluate_config_cells,
+)
+from repro.evaluation.harness import run_methods
+from repro.ibench.config import ScenarioConfig
+from repro.ibench.generator import generate_scenario
+
+SMALL = ScenarioConfig(num_primitives=2, rows_per_relation=6, seed=3)
+
+
+def test_registry_covers_cli_methods():
+    assert set(DEFAULT_GRID_METHODS) <= set(METHOD_REGISTRY)
+    assert {"exact", "independent"} <= set(METHOD_REGISTRY)
+
+
+def test_run_grid_cell_order_and_methods():
+    engine = EvaluationEngine(methods=("greedy", "all-candidates"))
+    result = engine.run_grid([SMALL])
+    assert [c.method for c in result.cells] == ["greedy", "all-candidates", "gold"]
+    assert all(c.config == SMALL for c in result.cells)
+
+
+def test_scenario_cache_only_charges_first_cell():
+    engine = EvaluationEngine(methods=("greedy",))
+    first = engine.run_grid([SMALL])
+    again = engine.run_grid([SMALL])
+    assert first.cells[0].timing.generate_seconds > 0.0
+    assert first.cells[0].timing.problem_seconds > 0.0
+    assert all(c.timing.generate_seconds == 0.0 for c in again.cells)
+    assert all(c.timing.problem_seconds == 0.0 for c in again.cells)
+
+
+def test_grid_matches_run_methods():
+    engine = EvaluationEngine(methods=("greedy", "collective"), warm_start=False)
+    cells = engine.run_grid([SMALL]).cells
+    scenario = generate_scenario(SMALL)
+    runs = run_methods(
+        scenario,
+        methods={m: METHOD_REGISTRY[m] for m in ("greedy", "collective")},
+    )
+    assert [c.run.selected for c in cells] == [r.selected for r in runs]
+    assert [c.run.objective for c in cells] == [r.objective for r in runs]
+
+
+def test_sweep_rows_shape_and_gold():
+    engine = EvaluationEngine(methods=("greedy",))
+    sweep = engine.sweep(SMALL, "pi_errors", levels=(0, 50), seeds=(1, 2))
+    rows = sweep.mean_f1_rows(["greedy", "gold"])
+    assert [row[0] for row in rows] == [0.0, 50.0]
+    assert all(len(row) == 3 for row in rows)
+    gold_cells = sweep.grid.by_method("gold")
+    assert len(gold_cells) == 4  # 2 levels x 2 seeds
+    assert all(c.run.data.f1 == pytest.approx(1.0) for c in gold_cells)
+
+
+def test_warm_start_lane_matches_cold_selection():
+    # The relaxation is convex, so warm-started sweeps must select the
+    # same mappings as cold ones.
+    warm = EvaluationEngine(methods=("collective",), warm_start=True)
+    cold = EvaluationEngine(methods=("collective",), warm_start=False)
+    base = ScenarioConfig(num_primitives=2, rows_per_relation=6)
+    a = warm.sweep(base, "pi_corresp", levels=(0, 50), seeds=(1,))
+    b = cold.sweep(base, "pi_corresp", levels=(0, 50), seeds=(1,))
+    assert [c.run.selected for c in a.grid.by_method("collective")] == [
+        c.run.selected for c in b.grid.by_method("collective")
+    ]
+
+
+def test_process_executor_grid_matches_serial():
+    serial = EvaluationEngine(methods=("greedy",), warm_start=False)
+    parallel = EvaluationEngine(
+        methods=("greedy",), executor="process:2", warm_start=False
+    )
+    configs = [SMALL, ScenarioConfig(num_primitives=2, rows_per_relation=6, seed=4)]
+    a = serial.run_grid(configs)
+    b = parallel.run_grid(configs)
+    assert [(c.config, c.method, c.run.selected) for c in a.cells] == [
+        (c.config, c.method, c.run.selected) for c in b.cells
+    ]
+    assert [c.run.objective for c in a.cells] == [c.run.objective for c in b.cells]
+
+
+def test_unknown_method_rejected():
+    with pytest.raises(ReproError):
+        evaluate_config_cells(
+            ConfigCells(SMALL, ("no-such-method",)), cache=ScenarioCache()
+        )
+
+
+def test_unknown_noise_parameter_rejected():
+    with pytest.raises(ReproError):
+        EvaluationEngine().sweep(SMALL, "pi_bogus", levels=(0,), seeds=(1,))

@@ -136,3 +136,73 @@ def test_reports_non_convergence_when_capped():
     result = AdmmSolver(mrf, AdmmSettings(max_iterations=3)).solve()
     assert not result.converged
     assert result.iterations == 3
+
+
+def test_unconverged_exit_reports_finite_residuals():
+    # max_iterations < check_every: the loop used to exit without ever
+    # computing residuals, reporting inf for both.
+    mrf = _mrf(2)
+    mrf.add_potential({X(0): -1.0, X(1): -1.0}, 1.0, weight=3.0)
+    mrf.add_potential({X(0): 1.0}, 0.0, weight=1.0)
+    result = AdmmSolver(mrf, AdmmSettings(max_iterations=3, check_every=10)).solve()
+    assert result.iterations == 3
+    assert np.isfinite(result.primal_residual)
+    assert np.isfinite(result.dual_residual)
+
+
+def test_exit_between_checks_reports_fresh_residuals():
+    # 25 iterations with check_every=10: the last check is at 20; the
+    # residuals must describe iteration 25, not iteration 20.
+    mrf = _mrf(2)
+    mrf.add_potential({X(0): -1.0, X(1): -1.0}, 1.0, weight=3.0)
+    mrf.add_potential({X(0): 1.0}, 0.0, weight=1.0)
+    settings = AdmmSettings(
+        max_iterations=25, check_every=10, epsilon_abs=1e-12, epsilon_rel=1e-12
+    )
+    result = AdmmSolver(mrf, settings).solve()
+    reference = AdmmSolver(mrf, AdmmSettings()).solve()
+    assert np.isfinite(result.primal_residual)
+    assert np.isfinite(result.dual_residual)
+    # Sanity: the truncated run's residuals are no better than a
+    # converged run's.
+    assert result.primal_residual >= reference.primal_residual or (
+        result.dual_residual >= reference.dual_residual
+    )
+
+
+def test_final_check_can_credit_convergence():
+    # An easy problem converges within a handful of iterations; even if
+    # the cap falls between checks the final residual test should mark it
+    # converged rather than claiming failure with tiny residuals.
+    mrf = _mrf(1)
+    mrf.add_potential({X(0): 1.0}, 0.0, weight=2.0)
+    result = AdmmSolver(mrf, AdmmSettings(max_iterations=99, check_every=1000)).solve()
+    assert np.isfinite(result.primal_residual)
+    assert np.isfinite(result.dual_residual)
+    assert result.converged
+
+
+def test_warm_state_resumes_near_optimum():
+    mrf = _mrf(3)
+    mrf.add_potential({X(0): -1.0, X(1): -1.0}, 1.0, weight=3.0)
+    mrf.add_potential({X(0): 1.0}, 0.0, weight=1.0)
+    mrf.add_potential({X(1): 1.0, X(2): 1.0}, -0.5, weight=2.0)
+    settings = AdmmSettings(check_every=1)
+    cold = AdmmSolver(mrf, settings).solve()
+    assert cold.converged and cold.state is not None
+    rewarm = AdmmSolver(mrf, settings).solve(warm_state=cold.state)
+    assert rewarm.converged
+    assert rewarm.iterations < cold.iterations
+    assert np.allclose(rewarm.x, cold.x, atol=1e-3)
+
+
+def test_warm_state_shape_mismatch_falls_back():
+    mrf = _mrf(2)
+    mrf.add_potential({X(0): -1.0, X(1): -1.0}, 1.0, weight=3.0)
+    other = _mrf(1)
+    other.add_potential({X(0): 1.0}, 0.0, weight=2.0)
+    foreign = AdmmSolver(other).solve().state
+    result = AdmmSolver(mrf).solve(warm_state=foreign)
+    assert result.converged  # state silently ignored, cold start used
+    reference = AdmmSolver(mrf).solve()
+    assert np.allclose(result.x, reference.x, atol=1e-3)

@@ -109,3 +109,39 @@ def test_shared_error_facts_use_mediator_variable():
     result = solve_collective(problem)
     exact = solve_branch_and_bound(problem)
     assert result.objective == exact.objective
+
+
+def test_warm_started_collective_chains_state():
+    from repro.examples_data import paper_example
+    from repro.psl.admm import AdmmSettings
+    from repro.selection.collective import (
+        CollectiveSettings,
+        WarmStartedCollective,
+        solve_collective,
+    )
+    from repro.selection.metrics import build_selection_problem
+
+    ex = paper_example()
+    problem = build_selection_problem(ex.source, ex.target, ex.candidates)
+    settings = CollectiveSettings(admm=AdmmSettings(check_every=1))
+
+    cold = solve_collective(problem, settings)
+    warm = WarmStartedCollective(settings)
+    first = warm(problem)
+    second = warm(problem)  # same structure: full ADMM state carries over
+    assert first.selected == cold.selected
+    assert second.selected == cold.selected
+    assert second.iterations < first.iterations
+
+
+def test_warm_start_ignores_unknown_indices():
+    from repro.examples_data import paper_example
+    from repro.selection.collective import solve_collective
+    from repro.selection.metrics import build_selection_problem
+
+    ex = paper_example()
+    problem = build_selection_problem(ex.source, ex.target, ex.candidates)
+    cold = solve_collective(problem)
+    warm = solve_collective(problem, warm_start={0: 1.0, 99: 0.25})
+    assert warm.selected == cold.selected
+    assert warm.objective == cold.objective
