@@ -23,7 +23,7 @@ from __future__ import annotations
 import os
 import time
 
-from benchmarks._common import record_result
+from benchmarks._common import record_json, record_result
 
 from repro.evaluation.engine import EvaluationEngine
 from repro.evaluation.reporting import format_table
@@ -87,6 +87,16 @@ def test_parallel_build_speedup(benchmark, scenario_cache):
         ),
     )
     record_result("parallel_engine_build", table)
+    record_json(
+        "parallel_engine_build",
+        {
+            "host_cpus": os.cpu_count(),
+            "workers": _workers(),
+            "serial_seconds": serial_seconds,
+            "parallel_seconds": parallel_seconds,
+            "speedup": speedup,
+        },
+    )
 
     assert problem_fingerprint(serial_problem) == problem_fingerprint(parallel_problem)
     if (

@@ -56,6 +56,17 @@ def _build_parser() -> argparse.ArgumentParser:
         default="serial",
         help="where the selection problem is built: serial or process[:N]",
     )
+    select.add_argument(
+        "--ground-executor",
+        default=None,
+        help="where the collective HL-MRF grounding shards run: serial or process[:N]",
+    )
+    select.add_argument(
+        "--ground-shard-size",
+        type=int,
+        default=None,
+        help="entries per grounding shard (default: sharding module default)",
+    )
 
     sweep = sub.add_parser("sweep", help="quality-vs-noise sweep")
     sweep.add_argument(
@@ -71,6 +82,23 @@ def _build_parser() -> argparse.ArgumentParser:
         "--executor",
         default="serial",
         help="where grid cells run: serial or process[:N]",
+    )
+    sweep.add_argument(
+        "--ground-executor",
+        default=None,
+        help="where the collective HL-MRF grounding shards run: serial or process[:N]",
+    )
+    sweep.add_argument(
+        "--ground-shard-size",
+        type=int,
+        default=None,
+        help="entries per grounding shard (default: sharding module default)",
+    )
+    sweep.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persist generated scenarios/problems here (keyed by config hash) "
+        "so repeated sessions skip generation",
     )
     sweep.add_argument(
         "--no-warm-start",
@@ -105,15 +133,29 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 def _cmd_select(args: argparse.Namespace) -> int:
     import time
+    from functools import partial
+
+    from repro.selection.collective import CollectiveSettings, solve_collective
 
     scenario = load_scenario(args.scenario)
     names = list(METHOD_REGISTRY) if args.method == "all" else [args.method]
+    methods = {name: METHOD_REGISTRY[name] for name in names}
+    if "collective" in methods and (
+        args.ground_executor is not None or args.ground_shard_size is not None
+    ):
+        methods["collective"] = partial(
+            solve_collective,
+            settings=CollectiveSettings(
+                ground_executor=args.ground_executor,
+                ground_shard_size=args.ground_shard_size,
+            ),
+        )
     start = time.perf_counter()
     problem = scenario.selection_problem(executor=args.executor)
     problem_seconds = time.perf_counter() - start
     cells = run_scenario(
         scenario,
-        {name: METHOD_REGISTRY[name] for name in names},
+        methods,
         problem=problem,
         problem_seconds=problem_seconds,
     )
@@ -143,6 +185,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         methods=DEFAULT_GRID_METHODS,
         executor=args.executor,
         warm_start=not args.no_warm_start,
+        cache_dir=args.cache_dir,
+        ground_executor=args.ground_executor,
+        ground_shard_size=args.ground_shard_size,
     )
     sweep = engine.sweep(base, args.noise, args.levels, args.seeds)
     columns = [*DEFAULT_GRID_METHODS, "gold"]

@@ -13,7 +13,12 @@ runner:
 * **scenario caching** — scenarios and their
   :class:`~repro.selection.metrics.SelectionProblem` tables are memoized
   per process, so a config appearing in several grids is generated and
-  chased once;
+  chased once; with a ``cache_dir`` the cache also spills to disk keyed
+  by config hash, so repeated benchmark *sessions* skip generation too;
+* **sharded grounding** — the collective method's HL-MRF compilation can
+  run through executor-mapped shards
+  (:func:`~repro.selection.collective.ground_collective`) via the
+  engine's ``ground_executor``/``ground_shard_size`` knobs;
 * **per-cell timing** — every :class:`GridCell` records scenario
   generation, problem build, and solve time separately;
 * **warm starting** — in serial runs the collective method chains ADMM
@@ -26,8 +31,13 @@ commands, and :mod:`benchmarks.sweeps` all sit on top of this module.
 
 from __future__ import annotations
 
+import hashlib
+import os
+import pickle
 import time
 from dataclasses import dataclass, field, replace
+from functools import partial
+from pathlib import Path
 from typing import Callable, Mapping, Sequence
 
 from repro.errors import ReproError
@@ -36,7 +46,11 @@ from repro.ibench.config import ScenarioConfig
 from repro.ibench.generator import generate_scenario
 from repro.ibench.scenario import Scenario
 from repro.selection.baselines import select_all, solve_independent
-from repro.selection.collective import WarmStartedCollective, solve_collective
+from repro.selection.collective import (
+    CollectiveSettings,
+    WarmStartedCollective,
+    solve_collective,
+)
 from repro.selection.exact import SelectionResult, solve_branch_and_bound
 from repro.selection.greedy import solve_greedy
 from repro.selection.metrics import SelectionProblem, build_selection_problem
@@ -84,26 +98,125 @@ class GridCell:
     timing: CellTiming
 
 
+#: Bump when the on-disk scenario/problem formats (or the generation /
+#: chasing semantics behind them) change: the version is folded into the
+#: cache key, so entries from older formats are simply never matched.
+CACHE_FORMAT_VERSION = 1
+
+
+def config_hash(config: ScenarioConfig) -> str:
+    """A stable hex digest of a scenario config — the disk-cache key.
+
+    Built from the frozen dataclass repr (deterministic field rendering)
+    plus :data:`CACHE_FORMAT_VERSION`, so equal configs hash equally
+    across processes and sessions but never across incompatible cache
+    formats.  The version cannot detect arbitrary code changes — clear
+    the cache directory after modifying scenario generation or chasing
+    if the constant was not bumped.
+    """
+    key = f"v{CACHE_FORMAT_VERSION}:{config!r}"
+    return hashlib.sha256(key.encode()).hexdigest()[:20]
+
+
 class ScenarioCache:
     """Memoizes scenarios and their selection problems by config.
 
     One instance lives in each worker process (module-level singleton) and
     one in the driving process, so repeated grid points never re-chase.
+
+    With *cache_dir* set, the cache is two-level: misses fall through to
+    disk (``<hash>.scenario.json`` via the stable JSON format of
+    :mod:`repro.io.serialize`; ``<hash>.problem.pkl`` for the chased
+    metric tables), and fresh results are written back, so repeated
+    benchmark *sessions* skip generation and chasing entirely.  Disk
+    failures (corrupt or unreadable files) silently fall back to
+    regeneration.  A disk hit reports the load time as the cell's
+    generate/build cost; in-memory hits still report 0.0.
     """
 
-    def __init__(self, problem_executor: MapExecutor | str | None = None):
+    def __init__(
+        self,
+        problem_executor: MapExecutor | str | None = None,
+        cache_dir: str | Path | None = None,
+    ):
         self._scenarios: dict[ScenarioConfig, tuple[Scenario, float]] = {}
         self._problems: dict[ScenarioConfig, tuple[SelectionProblem, float]] = {}
         self.problem_executor = problem_executor
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+
+    # -- disk layer --------------------------------------------------------
+
+    def _disk_path(self, config: ScenarioConfig, suffix: str) -> Path | None:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"{config_hash(config)}.{suffix}"
+
+    def _load_scenario(self, config: ScenarioConfig) -> Scenario | None:
+        path = self._disk_path(config, "scenario.json")
+        if path is None or not path.exists():
+            return None
+        from repro.io.serialize import load_scenario
+
+        try:
+            scenario = load_scenario(path)
+        except Exception:
+            return None
+        return scenario if scenario.config == config else None
+
+    def _store_scenario(self, config: ScenarioConfig, scenario: Scenario) -> None:
+        path = self._disk_path(config, "scenario.json")
+        if path is None:
+            return
+        from repro.io.serialize import save_scenario
+
+        # Write-then-rename so concurrent sessions sharing a cache_dir
+        # never publish a torn file (a corrupt entry would silently
+        # defeat the cache for that key forever).
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            save_scenario(scenario, tmp)
+            os.replace(tmp, path)
+        except OSError:
+            tmp.unlink(missing_ok=True)
+
+    def _load_problem(self, config: ScenarioConfig) -> SelectionProblem | None:
+        path = self._disk_path(config, "problem.pkl")
+        if path is None or not path.exists():
+            return None
+        try:
+            with path.open("rb") as handle:
+                problem = pickle.load(handle)
+        except Exception:
+            return None
+        return problem if isinstance(problem, SelectionProblem) else None
+
+    def _store_problem(self, config: ScenarioConfig, problem: SelectionProblem) -> None:
+        path = self._disk_path(config, "problem.pkl")
+        if path is None:
+            return
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with tmp.open("wb") as handle:
+                pickle.dump(problem, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except OSError:
+            tmp.unlink(missing_ok=True)
+
+    # -- lookups -----------------------------------------------------------
 
     def scenario(self, config: ScenarioConfig) -> tuple[Scenario, float]:
         """The scenario for *config* plus the seconds spent generating it
-        (0.0 on a cache hit)."""
+        (0.0 on an in-memory cache hit)."""
         hit = self._scenarios.get(config)
         if hit is not None:
             return hit[0], 0.0
         start = time.perf_counter()
-        scenario = generate_scenario(config)
+        scenario = self._load_scenario(config)
+        if scenario is None:
+            scenario = generate_scenario(config)
+            self._store_scenario(config, scenario)
         elapsed = time.perf_counter() - start
         self._scenarios[config] = (scenario, elapsed)
         return scenario, elapsed
@@ -113,17 +226,22 @@ class ScenarioCache:
         hit = self._problems.get(config)
         if hit is not None:
             return hit[0], 0.0
-        scenario, _ = self.scenario(config)
         start = time.perf_counter()
-        problem = build_selection_problem(
-            scenario.source, scenario.target, scenario.candidates,
-            executor=self.problem_executor,
-        )
+        problem = self._load_problem(config)
+        if problem is None:
+            scenario, _ = self.scenario(config)
+            start = time.perf_counter()
+            problem = build_selection_problem(
+                scenario.source, scenario.target, scenario.candidates,
+                executor=self.problem_executor,
+            )
+            self._store_problem(config, problem)
         elapsed = time.perf_counter() - start
         self._problems[config] = (problem, elapsed)
         return problem, elapsed
 
     def clear(self) -> None:
+        """Drop the in-memory layer (disk entries, if any, survive)."""
         self._scenarios.clear()
         self._problems.clear()
 
@@ -134,11 +252,19 @@ _PROCESS_CACHE = ScenarioCache()
 
 @dataclass(frozen=True)
 class ConfigCells:
-    """A picklable work unit: run *methods* on the scenario of *config*."""
+    """A picklable work unit: run *methods* on the scenario of *config*.
+
+    ``cache_dir`` (if set) points the executing process's scenario cache
+    at the shared on-disk cache; ``collective_settings`` configures the
+    collective solver (sharded-grounding executor/shard size, weights…)
+    wherever the unit runs.
+    """
 
     config: ScenarioConfig
     methods: tuple[str, ...]
     include_gold: bool = False
+    cache_dir: str | None = None
+    collective_settings: CollectiveSettings | None = None
 
     def __call__(self) -> list[GridCell]:
         return evaluate_config_cells(self)
@@ -215,14 +341,25 @@ def evaluate_config_cells(
     serial path uses to substitute warm-started solver instances.
     """
     cache = cache if cache is not None else _PROCESS_CACHE
+    # Only the per-process singleton inherits the work unit's cache_dir —
+    # caller-provided caches keep whatever directory their owner chose —
+    # and it is (re)set per job, so a dirless run never silently reuses a
+    # directory leaked by an earlier engine in the same process.
+    if cache is _PROCESS_CACHE:
+        cache.cache_dir = Path(work.cache_dir) if work.cache_dir is not None else None
     unknown = [m for m in work.methods if m not in METHOD_REGISTRY]
     if unknown:
         raise ReproError(f"unknown methods {unknown}; known: {sorted(METHOD_REGISTRY)}")
     scenario, generate_seconds = cache.scenario(work.config)
     problem, problem_seconds = cache.problem(work.config)
-    methods = {
-        m: (solvers or {}).get(m) or METHOD_REGISTRY[m] for m in work.methods
-    }
+    methods: dict[str, Solver] = {}
+    for m in work.methods:
+        solver = (solvers or {}).get(m)
+        if solver is None:
+            solver = METHOD_REGISTRY[m]
+            if m == "collective" and work.collective_settings is not None:
+                solver = partial(solve_collective, settings=work.collective_settings)
+        methods[m] = solver
     return run_scenario(
         scenario,
         methods,
@@ -276,7 +413,14 @@ class EvaluationEngine:
             across a seed's cells (serial executor only; process workers
             are stateless, so chaining is skipped there).
         cache: scenario cache for the serial path; defaults to a fresh
-            private cache.
+            private cache (with *cache_dir* applied, when given).
+        cache_dir: directory for the persistent scenario/problem cache;
+            ``None`` keeps caching in-memory only.
+        ground_executor: executor spec for the collective method's
+            sharded HL-MRF grounding (``"serial"``, ``"process[:N]"``);
+            forwarded to every cell, including process-pool workers.
+        ground_shard_size: entries per grounding shard (``None`` → the
+            sharding default).
     """
 
     def __init__(
@@ -286,17 +430,32 @@ class EvaluationEngine:
         include_gold: bool = True,
         warm_start: bool = True,
         cache: ScenarioCache | None = None,
+        cache_dir: str | Path | None = None,
+        ground_executor: MapExecutor | str | None = None,
+        ground_shard_size: int | None = None,
     ):
         self.methods = tuple(methods if methods is not None else DEFAULT_GRID_METHODS)
         self.executor = resolve_executor(executor)
         self.include_gold = include_gold
         self.warm_start = warm_start
-        self.cache = cache if cache is not None else ScenarioCache()
+        self.cache_dir = str(cache_dir) if cache_dir is not None else None
+        self.collective_settings: CollectiveSettings | None = None
+        if ground_executor is not None or ground_shard_size is not None:
+            self.collective_settings = CollectiveSettings(
+                ground_executor=ground_executor, ground_shard_size=ground_shard_size
+            )
+        self.cache = cache if cache is not None else ScenarioCache(cache_dir=cache_dir)
 
     def run_grid(self, configs: Sequence[ScenarioConfig]) -> GridResult:
         """Evaluate every config; cells come back in (config, method) order."""
         jobs = [
-            ConfigCells(config, self.methods, include_gold=self.include_gold)
+            ConfigCells(
+                config,
+                self.methods,
+                include_gold=self.include_gold,
+                cache_dir=self.cache_dir,
+                collective_settings=self.collective_settings,
+            )
             for config in configs
         ]
         if isinstance(self.executor, SerialExecutor):
@@ -316,7 +475,9 @@ class EvaluationEngine:
             solvers: dict[str, Solver] = {}
             if self.warm_start and "collective" in job.methods:
                 key = ("collective", job.config.seed)
-                solvers["collective"] = lanes.setdefault(key, WarmStartedCollective())
+                solvers["collective"] = lanes.setdefault(
+                    key, WarmStartedCollective(self.collective_settings)
+                )
             cells.extend(evaluate_config_cells(job, cache=self.cache, solvers=solvers))
         return cells
 

@@ -7,6 +7,7 @@ this package re-implements the needed core in pure Python + numpy:
 * first-order rules with Lukasiewicz semantics (:mod:`repro.psl.rule`),
 * grounding against an observation database (:mod:`repro.psl.grounding`),
 * hinge-loss MRFs (:mod:`repro.psl.hlmrf`),
+* sharded, executor-mapped grounding (:mod:`repro.psl.sharding`),
 * consensus-ADMM MAP inference (:mod:`repro.psl.admm`),
 * discrete rounding utilities (:mod:`repro.psl.rounding`).
 """
@@ -24,6 +25,15 @@ from repro.psl.rounding import (
     threshold_sweep,
 )
 from repro.psl.rule import Literal, Rule, RuleVariable, V, lit, neg
+from repro.psl.sharding import (
+    GroundingShard,
+    GroundingStats,
+    ShardResult,
+    TermBlock,
+    TermBlockBuilder,
+    ground_shards,
+    mrf_fingerprint,
+)
 
 __all__ = [
     "AdmmResult",
@@ -32,10 +42,15 @@ __all__ = [
     "AdmmWarmState",
     "Database",
     "GroundAtom",
+    "GroundingShard",
+    "GroundingStats",
     "HardConstraint",
     "HingeLossMRF",
     "HingePotential",
     "InferenceResult",
+    "ShardResult",
+    "TermBlock",
+    "TermBlockBuilder",
     "Literal",
     "RuleLearningResult",
     "Predicate",
@@ -43,9 +58,11 @@ __all__ = [
     "Rule",
     "RuleVariable",
     "V",
+    "ground_shards",
     "learn_rule_weights",
     "lit",
     "local_search",
+    "mrf_fingerprint",
     "randomized_rounding",
     "neg",
     "round_solution",

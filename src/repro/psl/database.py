@@ -19,7 +19,10 @@ class Database:
 
     def __init__(self) -> None:
         self._observations: dict[GroundAtom, float] = {}
-        self._targets: set[GroundAtom] = set()
+        # dict-as-ordered-set: target *insertion order* defines the
+        # deterministic variable order of the compiled MRF, which is what
+        # lets sharded and serial grounding fingerprint identically.
+        self._targets: dict[GroundAtom, None] = {}
         self._atoms_by_predicate: dict[Predicate, set[GroundAtom]] = {}
 
     # -- writing -----------------------------------------------------------
@@ -41,7 +44,7 @@ class Database:
             )
         if atom in self._observations:
             raise GroundingError(f"{atom} is already observed")
-        self._targets.add(atom)
+        self._targets[atom] = None
         self._atoms_by_predicate.setdefault(atom.predicate, set()).add(atom)
 
     # -- reading -----------------------------------------------------------
@@ -72,6 +75,11 @@ class Database:
     @property
     def targets(self) -> frozenset[GroundAtom]:
         return frozenset(self._targets)
+
+    @property
+    def targets_in_order(self) -> tuple[GroundAtom, ...]:
+        """Target atoms in insertion order (the MRF's variable order)."""
+        return tuple(self._targets)
 
     @property
     def observations(self) -> dict[GroundAtom, float]:

@@ -80,8 +80,39 @@ def substitutions(rule: Rule, database: Database) -> Iterator[dict[RuleVariable,
     yield from extend(0, {})
 
 
+def _atom_sort_key(atom: GroundAtom) -> tuple:
+    """An injective canonical key for a ground atom.
+
+    ``GroundAtom.__repr__`` renders arguments via ``str``, so e.g.
+    ``p(1)`` and ``p("1")`` collide; including the argument type and
+    ``repr`` makes the key distinguish every distinct atom.
+    """
+    return (
+        atom.predicate.name,
+        atom.predicate.arity,
+        tuple((type(a).__name__, repr(a)) for a in atom.arguments),
+    )
+
+
+def _grounding_sort_key(ground: GroundRule) -> tuple:
+    return (
+        tuple(_atom_sort_key(a) for a in ground.body),
+        ground.body_negated,
+        tuple(_atom_sort_key(a) for a in ground.head),
+        ground.head_negated,
+    )
+
+
 def ground_rule(rule: Rule, database: Database) -> list[GroundRule]:
-    """All non-trivial groundings of *rule* against *database*."""
+    """All non-trivial groundings of *rule* against *database*.
+
+    Returned in canonical (injectively key-sorted) order: enumeration
+    walks hash-ordered atom sets, so without the sort the grounding
+    order — and with it the compiled potential order — would vary with
+    the process's hash seed.  Sharded grounding runs rule shards in
+    worker processes and merges them against the serial order, so
+    grounding order must be reproducible anywhere.
+    """
     groundings: list[GroundRule] = []
     for sub in substitutions(rule, database):
         body = tuple(l.ground(sub) for l in rule.body)
@@ -96,6 +127,7 @@ def ground_rule(rule: Rule, database: Database) -> list[GroundRule]:
         )
         if not _is_trivially_satisfied(ground, database):
             groundings.append(ground)
+    groundings.sort(key=_grounding_sort_key)
     return groundings
 
 

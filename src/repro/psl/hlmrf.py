@@ -15,10 +15,67 @@ groundings (or are added directly).  Solved by consensus ADMM in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import TYPE_CHECKING, Iterable, Mapping
 
 from repro.errors import InferenceError
 from repro.psl.predicate import GroundAtom
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.psl.sharding import TermBlock
+
+#: Term kinds shared by the sharded grounding path and the ADMM solver.
+KIND_HINGE = 0
+KIND_SQUARED = 1
+KIND_LEQ = 2
+KIND_EQ = 3
+
+
+def filter_potential_terms(
+    pairs: Iterable[tuple[object, float]],
+    offset: float,
+    weight: float,
+    squared: bool,
+) -> tuple[list[tuple[object, float]], float]:
+    """Shared normalization of one potential's terms.
+
+    The single source of truth for potential semantics, used by both the
+    incremental :meth:`HingeLossMRF.add_potential` path and the sharded
+    :class:`~repro.psl.sharding.TermBlockBuilder`, so the two can never
+    diverge.  Validates the weight, drops zero-weight potentials,
+    filters zero coefficients (normalizing values to float), and folds
+    potentials that reduce to constants into an energy delta.  Returns
+    ``(kept pairs, constant-energy delta)``; an empty pair list means
+    nothing should be appended.
+    """
+    if weight < 0:
+        raise InferenceError(f"potential weight must be non-negative, got {weight}")
+    if weight == 0:
+        return [], 0.0
+    kept = [(a, float(c)) for a, c in pairs if c]
+    if not kept:
+        hinge = max(0.0, float(offset))
+        return [], weight * (hinge * hinge if squared else hinge)
+    return kept, 0.0
+
+
+def filter_constraint_terms(
+    pairs: Iterable[tuple[object, float]],
+    offset: float,
+    equality: bool,
+) -> list[tuple[object, float]]:
+    """Shared normalization of one hard constraint's terms.
+
+    Filters zero coefficients (normalizing values to float); a constraint
+    with no remaining terms is dropped when trivially satisfied and
+    rejected when infeasible.  The counterpart of
+    :func:`filter_potential_terms` for constraints.
+    """
+    kept = [(a, float(c)) for a, c in pairs if c]
+    if not kept:
+        if (equality and abs(offset) > 1e-9) or (not equality and offset > 1e-9):
+            raise InferenceError(f"infeasible constant constraint offset={offset}")
+        return []
+    return kept
 
 
 @dataclass(frozen=True)
@@ -54,13 +111,21 @@ class HingeLossMRF:
     """A HL-MRF over named ground atoms.
 
     Use :meth:`variable_index` to intern atoms as variables, then add
-    potentials and constraints in terms of atom keys.
+    potentials and constraints in terms of atom keys — or, on the sharded
+    grounding path, :meth:`intern_atoms` + :meth:`add_term_block` to
+    append whole compact term blocks at once.
+
+    ``constant_energy`` accumulates potentials whose coefficients all
+    vanish (empty or all-zero with a positive offset): they do not affect
+    the minimizer, but :meth:`energy` must include them for the reported
+    objective to equal the true one.
     """
 
     variables: list[GroundAtom] = field(default_factory=list)
     _index: dict[GroundAtom, int] = field(default_factory=dict)
     potentials: list[HingePotential] = field(default_factory=list)
     constraints: list[HardConstraint] = field(default_factory=list)
+    constant_energy: float = 0.0
 
     @property
     def num_variables(self) -> int:
@@ -75,6 +140,10 @@ class HingeLossMRF:
             self.variables.append(atom)
         return idx
 
+    def intern_atoms(self, atoms: Iterable[GroundAtom]) -> list[int]:
+        """Intern *atoms* in order; returns their variable indices."""
+        return [self.variable_index(a) for a in atoms]
+
     def index_of(self, atom: GroundAtom) -> int:
         try:
             return self._index[atom]
@@ -88,16 +157,25 @@ class HingeLossMRF:
         weight: float,
         squared: bool = False,
     ) -> None:
-        """Add ``weight * max(0, sum coeff*atom + offset)^(2 if squared)``."""
-        if weight < 0:
-            raise InferenceError(f"potential weight must be non-negative, got {weight}")
-        if weight == 0 or not coefficients:
+        """Add ``weight * max(0, sum coeff*atom + offset)^(2 if squared)``.
+
+        A potential whose coefficients are empty (or all zero) is a
+        *constant*: it cannot influence the minimizer, but its energy
+        ``weight * max(0, offset)^p`` is real and is tracked in
+        :attr:`constant_energy` so :meth:`energy` reports the true
+        objective instead of silently dropping it.
+        """
+        kept, constant = filter_potential_terms(
+            coefficients.items(), offset, weight, squared
+        )
+        self.constant_energy += constant
+        if not kept:
             return
         self.potentials.append(
             HingePotential(
-                tuple((self.variable_index(a), c) for a, c in coefficients.items() if c),
-                offset,
-                weight,
+                tuple((self.variable_index(a), c) for a, c in kept),
+                float(offset),
+                float(weight),
                 squared,
             )
         )
@@ -109,16 +187,55 @@ class HingeLossMRF:
         equality: bool = False,
     ) -> None:
         """Add a hard linear constraint over atoms."""
-        coeffs = tuple((self.variable_index(a), c) for a, c in coefficients.items() if c)
-        if not coeffs:
-            if (equality and abs(offset) > 1e-9) or (not equality and offset > 1e-9):
-                raise InferenceError(f"infeasible constant constraint offset={offset}")
+        kept = filter_constraint_terms(coefficients.items(), offset, equality)
+        if not kept:
             return
-        self.constraints.append(HardConstraint(coeffs, offset, equality))
+        self.constraints.append(
+            HardConstraint(
+                tuple((self.variable_index(a), c) for a, c in kept),
+                float(offset),
+                equality,
+            )
+        )
+
+    def add_term_block(self, atoms: Iterable[GroundAtom], block: "TermBlock") -> None:
+        """Append a compact shard-emitted term block (bulk construction).
+
+        *atoms* is the block's shard-local atom table; it is interned once
+        and every term's local indices are remapped through it, so the
+        per-potential ``Mapping[GroundAtom, float]`` dicts of the
+        incremental API never materialize.  Term order inside the block is
+        preserved, which is what makes sharded merges reproduce the serial
+        potential/constraint order byte for byte.
+        """
+        local_to_global = self.intern_atoms(atoms)
+        self.constant_energy += block.constant_energy
+        kinds = block.kinds
+        offsets = block.offsets
+        weights = block.weights
+        ptr = block.term_ptr
+        atom_index = block.atom_index
+        coefficient = block.coefficient
+        for t in range(block.num_terms):
+            pairs = tuple(
+                (local_to_global[atom_index[k]], float(coefficient[k]))
+                for k in range(ptr[t], ptr[t + 1])
+            )
+            kind = int(kinds[t])
+            if kind in (KIND_HINGE, KIND_SQUARED):
+                self.potentials.append(
+                    HingePotential(
+                        pairs, float(offsets[t]), float(weights[t]), kind == KIND_SQUARED
+                    )
+                )
+            else:
+                self.constraints.append(
+                    HardConstraint(pairs, float(offsets[t]), kind == KIND_EQ)
+                )
 
     def energy(self, x) -> float:
         """Total weighted hinge loss at *x* (ignores constraints)."""
-        return sum(p.value(x) for p in self.potentials)
+        return self.constant_energy + sum(p.value(x) for p in self.potentials)
 
     def max_violation(self, x) -> float:
         """Largest hard-constraint violation at *x*."""

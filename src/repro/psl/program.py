@@ -23,12 +23,21 @@ from typing import Iterable, Mapping, Sequence
 import numpy as np
 
 from repro.errors import GroundingError, InferenceError
+from repro.executors import MapExecutor
 from repro.psl.admm import AdmmResult, AdmmSettings, AdmmSolver, AdmmWarmState
 from repro.psl.database import Database
 from repro.psl.grounding import ground_rule, linearize
 from repro.psl.hlmrf import HingeLossMRF
 from repro.psl.predicate import GroundAtom, Predicate
 from repro.psl.rule import LinearConstraintSpec, Literal, Rule
+from repro.psl.sharding import (
+    GroundingShard,
+    GroundingStats,
+    ShardResult,
+    TermBlockBuilder,
+    ground_shards,
+    iter_slices,
+)
 
 
 @dataclass
@@ -49,6 +58,67 @@ class InferenceResult:
     @property
     def converged(self) -> bool:
         return self.admm.converged
+
+
+@dataclass(frozen=True)
+class RuleGroundingShard:
+    """One rule's groundings as a sharded work unit.
+
+    Ships the rule plus the database (observations + targets) to wherever
+    the shard runs; :func:`~repro.psl.grounding.ground_rule` enumerates in
+    canonical order, so the emitted block is reproducible anywhere.
+    """
+
+    order: int
+    rule: Rule
+    weight: float | None
+    database: Database
+
+    def build(self) -> ShardResult:
+        builder = TermBlockBuilder()
+        for grounding in ground_rule(self.rule, self.database):
+            coefficients, constant = linearize(grounding, self.database)
+            targets = [
+                (a, c) for a, c in coefficients.items() if self.database.is_target(a)
+            ]
+            if self.rule.is_hard:
+                builder.add_constraint(targets, constant)
+            else:
+                builder.add_potential(targets, constant, self.weight, self.rule.squared)
+        atoms, block = builder.finish()
+        return ShardResult(self.order, atoms, block)
+
+
+@dataclass(frozen=True)
+class RawPotentialShard:
+    """A slice of a program's raw potentials as a sharded work unit."""
+
+    #: items: ((atom, coeff) pairs, offset, weight, squared) per potential.
+    order: int
+    items: tuple[tuple[tuple[tuple[GroundAtom, float], ...], float, float, bool], ...]
+
+    def build(self) -> ShardResult:
+        builder = TermBlockBuilder()
+        for pairs, offset, weight, squared in self.items:
+            builder.add_potential(pairs, offset, weight, squared)
+        atoms, block = builder.finish()
+        return ShardResult(self.order, atoms, block)
+
+
+@dataclass(frozen=True)
+class RawConstraintShard:
+    """A slice of a program's raw linear constraints as a sharded work unit."""
+
+    #: items: ((atom, coeff) pairs, offset, equality) per constraint.
+    order: int
+    items: tuple[tuple[tuple[tuple[GroundAtom, float], ...], float, bool], ...]
+
+    def build(self) -> ShardResult:
+        builder = TermBlockBuilder()
+        for pairs, offset, equality in self.items:
+            builder.add_constraint(pairs, offset, equality)
+        atoms, block = builder.finish()
+        return ShardResult(self.order, atoms, block)
 
 
 class PslProgram:
@@ -123,15 +193,84 @@ class PslProgram:
     def ground(
         self,
         weight_overrides: Mapping[Rule, float] | None = None,
+        executor: MapExecutor | str | None = None,
+        shard_size: int | None = None,
     ) -> HingeLossMRF:
         """Ground all rules and compile the HL-MRF.
 
         ``weight_overrides`` substitutes rule weights at grounding time
         without mutating the (frozen) rules — the hook weight learning
         uses to re-ground cheaply between epochs.
+
+        With *executor* and/or *shard_size* set, grounding runs through
+        the sharded path of :mod:`repro.psl.sharding`: one shard per
+        rule plus sliced raw potentials/constraints, merged back
+        deterministically into an MRF fingerprint-identical to the
+        serial one.  The default (both ``None``) is the serial in-process
+        path.
         """
-        mrf, _ = self.ground_with_origins(weight_overrides)
+        if executor is None and shard_size is None:
+            mrf, _ = self.ground_with_origins(weight_overrides)
+            return mrf
+        mrf, _ = self.ground_sharded(
+            weight_overrides, executor=executor, shard_size=shard_size
+        )
         return mrf
+
+    def grounding_shards(
+        self,
+        weight_overrides: Mapping[Rule, float] | None = None,
+        shard_size: int | None = None,
+    ) -> list[GroundingShard]:
+        """The program's grounding work as picklable shard specs.
+
+        Shard order (rules, then raw-potential slices, then raw-
+        constraint slices) matches the serial compilation order of
+        :meth:`ground_with_origins`, so merging the specs in order
+        reproduces the serial potential/constraint sequences exactly.
+        """
+        overrides = weight_overrides or {}
+        shards: list[GroundingShard] = []
+        for rule in self._rules:
+            shards.append(
+                RuleGroundingShard(
+                    len(shards), rule, overrides.get(rule, rule.weight), self.database
+                )
+            )
+        for lo, hi in iter_slices(len(self._raw_potentials), shard_size):
+            items = tuple(
+                (tuple(coefficients.items()), offset, weight, squared)
+                for coefficients, offset, weight, squared in self._raw_potentials[lo:hi]
+            )
+            shards.append(RawPotentialShard(len(shards), items))
+        for lo, hi in iter_slices(len(self._raw_constraints), shard_size):
+            items = tuple(
+                (tuple(spec.coefficients.items()), spec.offset, spec.equality)
+                for spec in self._raw_constraints[lo:hi]
+            )
+            shards.append(RawConstraintShard(len(shards), items))
+        return shards
+
+    def ground_sharded(
+        self,
+        weight_overrides: Mapping[Rule, float] | None = None,
+        executor: MapExecutor | str | None = None,
+        shard_size: int | None = None,
+    ) -> tuple[HingeLossMRF, GroundingStats]:
+        """Ground through executor-mapped shards; also returns merge stats.
+
+        Target atoms are interned up front in insertion order — the same
+        variable order the serial path produces — then shard term blocks
+        are merged in spec order.
+        """
+        mrf = HingeLossMRF()
+        for atom in self.database.targets_in_order:
+            mrf.variable_index(atom)
+        return ground_shards(
+            self.grounding_shards(weight_overrides, shard_size),
+            executor=executor,
+            mrf=mrf,
+        )
 
     def ground_with_origins(
         self,
@@ -145,7 +284,7 @@ class PslProgram:
         overrides = weight_overrides or {}
         mrf = HingeLossMRF()
         origins: list[Rule | None] = []
-        for atom in self.database.targets:
+        for atom in self.database.targets_in_order:
             mrf.variable_index(atom)
         for rule in self._rules:
             weight = overrides.get(rule, rule.weight)
@@ -153,12 +292,11 @@ class PslProgram:
                 coefficients, constant = linearize(grounding, self.database)
                 targets = {a: c for a, c in coefficients.items() if self.database.is_target(a)}
                 # contributions of observed atoms are already in `constant`
-                # via linearize; drop zero-coefficient leftovers.
+                # via linearize; drop zero-coefficient leftovers.  Fully
+                # observed groundings fold into mrf.constant_energy.
                 if rule.is_hard:
                     mrf.add_constraint(targets, constant)
                 else:
-                    if not targets:
-                        continue  # fully observed grounding: constant energy
                     before = len(mrf.potentials)
                     mrf.add_potential(targets, constant, weight, rule.squared)
                     origins.extend([rule] * (len(mrf.potentials) - before))
@@ -176,15 +314,18 @@ class PslProgram:
         warm_start: Mapping[GroundAtom, float] | None = None,
         weight_overrides: Mapping[Rule, float] | None = None,
         warm_state: "AdmmWarmState | None" = None,
+        executor: MapExecutor | str | None = None,
+        shard_size: int | None = None,
     ) -> InferenceResult:
         """Ground, solve MAP by ADMM, and read back target truths.
 
         *warm_start* seeds consensus values per atom; *warm_state* (a
         previous result's ``admm.state``) restores the full ADMM state
         and is only honoured when the grounding structure is unchanged
-        (the solver checks the shapes).
+        (the solver checks the shapes).  *executor*/*shard_size* select
+        the sharded grounding path (see :meth:`ground`).
         """
-        mrf = self.ground(weight_overrides)
+        mrf = self.ground(weight_overrides, executor=executor, shard_size=shard_size)
         start = None
         if warm_start:
             start = np.full(mrf.num_variables, 0.5)

@@ -7,10 +7,13 @@ from repro.selection.baselines import (
     solve_independent,
 )
 from repro.selection.collective import (
+    CollectivePlan,
     CollectiveResult,
     CollectiveSettings,
     WarmStartedCollective,
     build_program,
+    ground_collective,
+    plan_collective_grounding,
     solve_collective,
 )
 from repro.selection.exact import (
@@ -51,6 +54,7 @@ from repro.selection.objective import (
 )
 
 __all__ = [
+    "CollectivePlan",
     "CollectiveResult",
     "CollectiveSettings",
     "DEFAULT_WEIGHTS",
@@ -67,6 +71,8 @@ __all__ = [
     "WarmStartedCollective",
     "build_program",
     "build_selection_problem",
+    "ground_collective",
+    "plan_collective_grounding",
     "evaluate_candidate",
     "merge_candidate_tables",
     "problem_fingerprint",

@@ -25,6 +25,18 @@ Error facts shared by several candidates (possible for full tgds that
 produce identical ground facts) are mediated through an auxiliary
 ``errorOf(t)`` variable so each error is paid once, matching the
 ``sum over K_C - J`` of the objective.
+
+**Sharded grounding.**  The HL-MRF is compiled straight from the
+:class:`~repro.selection.metrics.SelectionProblem` in executor-mapped
+shards (:mod:`repro.psl.sharding`): coverage shards over slices of
+``j_facts``, error shards over slices of the shared-error owner groups,
+prior shards over slices of the candidate list.  Each shard is a small
+picklable spec carrying only its slice of the tables, so on the
+streaming serial path the peak working set of a build is O(largest
+shard) (the process pool currently materializes results before merging
+— see ROADMAP), and the deterministic merge reproduces the serial
+compilation byte for byte under any
+:class:`~repro.executors.MapExecutor` and any shard size.
 """
 
 from __future__ import annotations
@@ -33,10 +45,23 @@ from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Mapping
 
+import numpy as np
+
 from repro.datamodel.instance import Fact
-from repro.psl.admm import AdmmSettings, AdmmWarmState
+from repro.executors import MapExecutor
+from repro.psl.admm import AdmmSettings, AdmmSolver, AdmmWarmState
+from repro.psl.hlmrf import KIND_EQ, KIND_HINGE, KIND_SQUARED, HingeLossMRF
+from repro.psl.predicate import GroundAtom, Predicate
 from repro.psl.program import PslProgram
 from repro.psl.rounding import round_solution
+from repro.psl.sharding import (
+    GroundingShard,
+    GroundingStats,
+    ShardResult,
+    TermBlockBuilder,
+    ground_shards,
+    iter_slices,
+)
 from repro.selection.exact import SelectionResult
 from repro.selection.metrics import SelectionProblem
 from repro.selection.objective import (
@@ -45,95 +70,310 @@ from repro.selection.objective import (
     objective_value,
 )
 
+#: The model's predicates.  Module-level so shard work units can rebuild
+#: atom keys in worker processes that compare equal to the driver's.
+IN_PREDICATE = Predicate("inMap", 1, closed=False)
+EXPLAINED_PREDICATE = Predicate("explained", 1, closed=False)
+ERROR_PREDICATE = Predicate("errorOf", 1, closed=False)
+
 
 @dataclass
 class CollectiveSettings:
-    """Knobs of the collective selector."""
+    """Knobs of the collective selector.
+
+    ``ground_executor``/``ground_shard_size`` select where and how finely
+    the HL-MRF grounding shards run (``None`` → serial, default shard
+    size).  Use string specs (``"process:4"``) when the settings object
+    itself must stay picklable, e.g. inside engine work units.
+    """
 
     weights: ObjectiveWeights = DEFAULT_WEIGHTS
     admm: AdmmSettings = field(default_factory=AdmmSettings)
     squared_hinges: bool = False
     rounding_local_search: bool = True
+    ground_executor: MapExecutor | str | None = None
+    ground_shard_size: int | None = None
 
 
 @dataclass(frozen=True)
 class CollectiveResult(SelectionResult):
-    """Selection plus the relaxation's fractional state and diagnostics."""
+    """Selection plus the relaxation's fractional state and diagnostics.
+
+    ``fractional`` holds the ``in`` memberships by candidate index;
+    ``fractional_aux`` the ``explained``/``errorOf`` atom values keyed by
+    ``(predicate name, index)`` — the payload that lets warm starts seed
+    *all* atoms of the next solve, not just the memberships.
+    """
 
     fractional: dict[int, float] = field(default_factory=dict)
+    fractional_aux: dict[tuple[str, int], float] = field(default_factory=dict)
     iterations: int = 0
     converged: bool = True
     num_potentials: int = 0
     num_constraints: int = 0
     admm_state: AdmmWarmState | None = None
+    grounding: GroundingStats | None = None
+
+
+# -- shard work units ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CoverageShard:
+    """Coverage terms for a slice of J's facts.
+
+    Per entry ``(t_idx, ((candidate, degree), ...))``: the reward
+    potential ``w_expl * max(0, 1 - explained(t))`` and the hard support
+    cap ``explained(t) <= sum covers(theta,t) * in(theta)``.
+    """
+
+    order: int
+    entries: tuple[tuple[int, tuple[tuple[int, float], ...]], ...]
+    weight: float
+    squared: bool
+
+    def build(self) -> ShardResult:
+        builder = TermBlockBuilder()
+        for t_idx, support in self.entries:
+            atom = GroundAtom(EXPLAINED_PREDICATE, (t_idx,))
+            builder.add_potential([(atom, -1.0)], 1.0, self.weight, self.squared)
+            cap = [(atom, 1.0)]
+            for i, degree in support:
+                cap.append((GroundAtom(IN_PREDICATE, (i,)), -degree))
+            builder.add_constraint(cap, 0.0)
+        atoms, block = builder.finish()
+        return ShardResult(self.order, atoms, block)
+
+
+@dataclass(frozen=True)
+class ErrorShard:
+    """Shared-error mediator terms for a slice of the owner groups.
+
+    Per entry ``(e_idx, (owners...))``: the penalty potential
+    ``w_err * errorOf(e)`` plus one cap ``in(theta) <= errorOf(e)`` per
+    owner, so the error is paid once however many owners are selected.
+    """
+
+    order: int
+    entries: tuple[tuple[int, tuple[int, ...]], ...]
+    weight: float
+    squared: bool
+
+    def build(self) -> ShardResult:
+        builder = TermBlockBuilder()
+        for e_idx, owners in self.entries:
+            atom = GroundAtom(ERROR_PREDICATE, (e_idx,))
+            builder.add_potential([(atom, 1.0)], 0.0, self.weight, self.squared)
+            for i in owners:
+                builder.add_constraint(
+                    [(GroundAtom(IN_PREDICATE, (i,)), 1.0), (atom, -1.0)], 0.0
+                )
+        atoms, block = builder.finish()
+        return ShardResult(self.order, atoms, block)
+
+
+@dataclass(frozen=True)
+class PriorShard:
+    """Per-candidate prior potentials for a slice of the candidate list.
+
+    Per entry ``(candidate, penalty)``: the folded private-error + size
+    prior ``penalty * in(theta)``.
+    """
+
+    order: int
+    entries: tuple[tuple[int, float], ...]
+    squared: bool
+
+    def build(self) -> ShardResult:
+        builder = TermBlockBuilder()
+        for i, penalty in self.entries:
+            builder.add_potential(
+                [(GroundAtom(IN_PREDICATE, (i,)), 1.0)], 0.0, penalty, self.squared
+            )
+        atoms, block = builder.finish()
+        return ShardResult(self.order, atoms, block)
+
+
+# -- shard planning -----------------------------------------------------------
+
+
+@dataclass
+class CollectivePlan:
+    """The deterministic compilation plan of one selection problem.
+
+    ``targets`` pins the MRF's variable order (``in`` atoms by candidate
+    index, then ``explained`` atoms in ``j_facts`` order, then
+    ``errorOf`` atoms in sorted-owner-group order); ``shards`` hold the
+    work, each spec carrying only its slice of the problem's tables.
+    """
+
+    in_atoms: dict[int, GroundAtom]
+    explained_atoms: dict[int, GroundAtom]
+    error_atoms: dict[int, GroundAtom]
+    targets: tuple[GroundAtom, ...]
+    shards: tuple[GroundingShard, ...]
+
+
+def plan_collective_grounding(
+    problem: SelectionProblem,
+    settings: CollectiveSettings | None = None,
+    shard_size: int | None = None,
+) -> CollectivePlan:
+    """Compile *problem* into shard specs (no term is materialized yet).
+
+    The plan's shard order — coverage slices in ``j_facts`` order, then
+    error slices over the repr-sorted shared-error groups, then prior
+    slices in candidate order — reproduces the potential/constraint
+    order of the serial :func:`build_program` + ``ground()`` path, which
+    is what makes the merged MRF fingerprint-identical to it.
+    """
+    settings = settings or CollectiveSettings()
+    weights = settings.weights
+    squared = settings.squared_hinges
+
+    in_atoms = {
+        i: GroundAtom(IN_PREDICATE, (i,)) for i in range(problem.num_candidates)
+    }
+
+    # Coverage: one entry per J fact some candidate covers (facts nobody
+    # covers are certain-unexplained constants, excluded from the MRF).
+    coverers: dict[Fact, list[tuple[int, Fraction]]] = {}
+    for i, table in enumerate(problem.covers):
+        for t, degree in table.items():
+            coverers.setdefault(t, []).append((i, degree))
+    coverage_entries: list[tuple[int, tuple[tuple[int, float], ...]]] = []
+    explained_atoms: dict[int, GroundAtom] = {}
+    for t_idx, t in enumerate(problem.j_facts):
+        support = coverers.get(t)
+        if not support:
+            continue
+        explained_atoms[t_idx] = GroundAtom(EXPLAINED_PREDICATE, (t_idx,))
+        coverage_entries.append(
+            (t_idx, tuple((i, float(degree)) for i, degree in support))
+        )
+
+    # Errors: shared facts get a mediator variable; private ones fold
+    # into the per-candidate prior below.
+    owners: dict[Fact, list[int]] = {}
+    for i, facts in enumerate(problem.error_facts):
+        for f in facts:
+            owners.setdefault(f, []).append(i)
+    private_error_counts = [0] * problem.num_candidates
+    error_entries: list[tuple[int, tuple[int, ...]]] = []
+    error_atoms: dict[int, GroundAtom] = {}
+    for e_idx, (f, who) in enumerate(sorted(owners.items(), key=lambda kv: repr(kv[0]))):
+        if len(who) == 1:
+            private_error_counts[who[0]] += 1
+        else:
+            error_atoms[e_idx] = GroundAtom(ERROR_PREDICATE, (e_idx,))
+            error_entries.append((e_idx, tuple(who)))
+
+    # Per-candidate priors: private errors + size, folded into one term.
+    prior_entries: list[tuple[int, float]] = []
+    for i in range(problem.num_candidates):
+        penalty = float(
+            weights.errors * private_error_counts[i] + weights.size * problem.sizes[i]
+        )
+        if penalty > 0:
+            prior_entries.append((i, penalty))
+
+    shards: list[GroundingShard] = []
+    for lo, hi in iter_slices(len(coverage_entries), shard_size):
+        shards.append(
+            CoverageShard(
+                len(shards),
+                tuple(coverage_entries[lo:hi]),
+                float(weights.explains),
+                squared,
+            )
+        )
+    for lo, hi in iter_slices(len(error_entries), shard_size):
+        shards.append(
+            ErrorShard(
+                len(shards), tuple(error_entries[lo:hi]), float(weights.errors), squared
+            )
+        )
+    for lo, hi in iter_slices(len(prior_entries), shard_size):
+        shards.append(PriorShard(len(shards), tuple(prior_entries[lo:hi]), squared))
+
+    targets = (
+        *(in_atoms[i] for i in range(problem.num_candidates)),
+        *explained_atoms.values(),
+        *error_atoms.values(),
+    )
+    return CollectivePlan(
+        in_atoms=in_atoms,
+        explained_atoms=explained_atoms,
+        error_atoms=error_atoms,
+        targets=targets,
+        shards=tuple(shards),
+    )
+
+
+def ground_collective(
+    problem: SelectionProblem,
+    settings: CollectiveSettings | None = None,
+    executor: MapExecutor | str | None = None,
+    shard_size: int | None = None,
+) -> tuple[HingeLossMRF, CollectivePlan, GroundingStats]:
+    """Ground *problem*'s HL-MRF through executor-mapped shards.
+
+    *executor*/*shard_size* default to the settings' values.  The result
+    is fingerprint-identical to the serial ``build_program(...)[0]
+    .ground()`` path for any executor and any shard size.
+    """
+    settings = settings or CollectiveSettings()
+    if executor is None:
+        executor = settings.ground_executor
+    if shard_size is None:
+        shard_size = settings.ground_shard_size
+    plan = plan_collective_grounding(problem, settings, shard_size)
+    mrf = HingeLossMRF()
+    for atom in plan.targets:
+        mrf.variable_index(atom)
+    mrf, stats = ground_shards(plan.shards, executor=executor, mrf=mrf)
+    return mrf, plan, stats
 
 
 def build_program(
     problem: SelectionProblem,
     settings: CollectiveSettings,
 ) -> tuple[PslProgram, dict[int, object]]:
-    """Compile the selection problem into a PSL program.
+    """Compile the selection problem into a monolithic PSL program.
 
-    Returns the program and the map from candidate index to its ``in``
-    atom, so callers can read the fractional memberships back.
+    The serial reference path: the same shard specs
+    :func:`plan_collective_grounding` emits are expanded through the
+    program's dict-based raw-potential API, so ``program.ground()``
+    produces — by construction — the MRF the sharded merge must
+    reproduce.  Returns the program and the map from candidate index to
+    its ``in`` atom, so callers can read fractional memberships back.
     """
-    weights = settings.weights
+    plan = plan_collective_grounding(problem, settings, shard_size=None)
     program = PslProgram()
-    in_map = program.predicate("inMap", 1, closed=False)
-    explained = program.predicate("explained", 1, closed=False)
-    error_of = program.predicate("errorOf", 1, closed=False)
-
-    in_atoms = {i: in_map(i) for i in range(problem.num_candidates)}
-    for atom in in_atoms.values():
+    for predicate in (IN_PREDICATE, EXPLAINED_PREDICATE, ERROR_PREDICATE):
+        program.predicate(predicate.name, predicate.arity, predicate.closed)
+    for atom in plan.targets:
         program.target(atom)
-
-    squared = settings.squared_hinges
-
-    # Coverage: reward explained(t), capped by the selected covering mass.
-    coverers: dict[Fact, list[tuple[int, Fraction]]] = {}
-    for i, table in enumerate(problem.covers):
-        for t, degree in table.items():
-            coverers.setdefault(t, []).append((i, degree))
-    for t_idx, t in enumerate(problem.j_facts):
-        support = coverers.get(t)
-        if not support:
-            continue  # certain unexplained: constant w_expl, excluded from the MRF
-        atom = explained(t_idx)
-        program.target(atom)
-        program.add_raw_potential(
-            {atom: -1.0}, 1.0, float(weights.explains), squared
-        )
-        cap = {atom: 1.0}
-        for i, degree in support:
-            cap[in_atoms[i]] = -float(degree)
-        program.add_linear_constraint(cap, 0.0)
-
-    # Errors: one unit per distinct error fact, paid once even when shared.
-    owners: dict[Fact, list[int]] = {}
-    for i, facts in enumerate(problem.error_facts):
-        for f in facts:
-            owners.setdefault(f, []).append(i)
-    private_error_counts = [0] * problem.num_candidates
-    for e_idx, (f, who) in enumerate(sorted(owners.items(), key=lambda kv: repr(kv[0]))):
-        if len(who) == 1:
-            private_error_counts[who[0]] += 1
-        else:
-            atom = error_of(e_idx)
-            program.target(atom)
-            program.add_raw_potential({atom: 1.0}, 0.0, float(weights.errors), squared)
-            for i in who:
-                program.add_linear_constraint({in_atoms[i]: 1.0, atom: -1.0}, 0.0)
-
-    # Per-candidate priors: private errors + size.
-    for i in range(problem.num_candidates):
-        penalty = float(
-            weights.errors * private_error_counts[i]
-            + weights.size * problem.sizes[i]
-        )
-        if penalty > 0:
-            program.add_raw_potential({in_atoms[i]: 1.0}, 0.0, penalty, squared)
-
-    return program, in_atoms
+    for shard in plan.shards:
+        result = shard.build()
+        block = result.block
+        for t in range(block.num_terms):
+            lo, hi = block.term_ptr[t], block.term_ptr[t + 1]
+            coefficients = {
+                result.atoms[block.atom_index[k]]: float(block.coefficient[k])
+                for k in range(lo, hi)
+            }
+            kind = int(block.kinds[t])
+            if kind in (KIND_HINGE, KIND_SQUARED):
+                program.add_raw_potential(
+                    coefficients, float(block.offsets[t]), float(block.weights[t]),
+                    kind == KIND_SQUARED,
+                )
+            else:
+                program.add_linear_constraint(
+                    coefficients, float(block.offsets[t]), kind == KIND_EQ
+                )
+    return program, dict(plan.in_atoms)
 
 
 def solve_collective(
@@ -141,31 +381,66 @@ def solve_collective(
     settings: CollectiveSettings | None = None,
     warm_start: Mapping[int, float] | None = None,
     warm_state: AdmmWarmState | None = None,
+    warm_start_aux: Mapping[tuple[str, int], float] | None = None,
+    ground_executor: MapExecutor | str | None = None,
+    ground_shard_size: int | None = None,
 ) -> CollectiveResult:
     """Run the paper's pipeline: relax, infer with ADMM, round, score.
 
+    Grounding runs through :func:`ground_collective` — sharded, on
+    *ground_executor* (default: the settings' executor, serial if unset)
+    — so huge problems never materialize a monolithic dict-based program.
+
     *warm_start* maps candidate indices to fractional memberships from a
-    previous solve (e.g. the neighbouring point of a parameter sweep); the
-    ADMM consensus vector starts from those values instead of 0.5.
-    *warm_state* restores the previous solve's full ADMM state (consensus
-    + duals) and is what actually cuts iterations when the grounding
-    structure is unchanged, e.g. across weight-only re-solves; it is
-    ignored (shape check) when the structure differs.  The relaxation is
-    convex, so *converged* solves reach the same optimum from any start;
-    if ADMM exits at the iteration cap the truncated iterate does depend
-    on the start (check ``CollectiveResult.converged``).  Indices unknown
-    to this problem are ignored.
+    previous solve (e.g. the neighbouring point of a parameter sweep);
+    *warm_start_aux* seeds the auxiliary ``explained``/``errorOf`` atoms
+    by ``(predicate name, index)`` the same way.  The ADMM consensus
+    vector starts from those values instead of 0.5.  *warm_state*
+    restores the previous solve's full ADMM state (consensus + duals)
+    and is what actually cuts iterations when the grounding structure is
+    unchanged, e.g. across weight-only re-solves; it is ignored (shape
+    check) when the structure differs.  The relaxation is convex, so
+    *converged* solves reach the same optimum from any start; if ADMM
+    exits at the iteration cap the truncated iterate does depend on the
+    start (check ``CollectiveResult.converged``).  Indices unknown to
+    this problem are ignored.
     """
     settings = settings or CollectiveSettings()
-    program, in_atoms = build_program(problem, settings)
-    start = None
-    if warm_start:
-        start = {
-            in_atoms[i]: float(v) for i, v in warm_start.items() if i in in_atoms
-        }
-    inference = program.infer(settings.admm, warm_start=start, warm_state=warm_state)
+    mrf, plan, stats = ground_collective(
+        problem, settings, executor=ground_executor, shard_size=ground_shard_size
+    )
 
-    fractional = {i: inference.truth(atom) for i, atom in in_atoms.items()}
+    start = None
+    if warm_start or warm_start_aux:
+        start = np.full(mrf.num_variables, 0.5)
+        for i, value in (warm_start or {}).items():
+            atom = plan.in_atoms.get(i)
+            if atom is not None:
+                start[mrf.index_of(atom)] = float(value)
+        aux_tables = {
+            EXPLAINED_PREDICATE.name: plan.explained_atoms,
+            ERROR_PREDICATE.name: plan.error_atoms,
+        }
+        for (kind, idx), value in (warm_start_aux or {}).items():
+            atom = aux_tables.get(kind, {}).get(idx)
+            if atom is not None:
+                start[mrf.index_of(atom)] = float(value)
+
+    inference = AdmmSolver(mrf, settings.admm).solve(start, warm_state=warm_state)
+    x = inference.x
+    fractional = {
+        i: float(x[mrf.index_of(atom)]) for i, atom in plan.in_atoms.items()
+    }
+    fractional_aux = {
+        (EXPLAINED_PREDICATE.name, t): float(x[mrf.index_of(atom)])
+        for t, atom in plan.explained_atoms.items()
+    }
+    fractional_aux.update(
+        {
+            (ERROR_PREDICATE.name, e): float(x[mrf.index_of(atom)])
+            for e, atom in plan.error_atoms.items()
+        }
+    )
 
     def discrete_objective(selected: frozenset) -> Fraction:
         return objective_value(problem, selected, settings.weights)
@@ -179,11 +454,13 @@ def solve_collective(
         selected=frozenset(selected),
         objective=discrete_objective(frozenset(selected)),
         fractional=fractional,
-        iterations=inference.admm.iterations,
+        fractional_aux=fractional_aux,
+        iterations=inference.iterations,
         converged=inference.converged,
-        num_potentials=inference.num_potentials,
-        num_constraints=inference.num_constraints,
-        admm_state=inference.admm.state,
+        num_potentials=len(mrf.potentials),
+        num_constraints=len(mrf.constraints),
+        admm_state=inference.state,
+        grounding=stats,
     )
 
 
@@ -192,16 +469,18 @@ class WarmStartedCollective:
 
     Re-solving the HL-MRF at every point of a sweep (noise levels, weight
     settings) wastes the fact that neighbouring points have near-identical
-    optima.  This callable keeps the previous call's fractional ``in``
-    memberships *and* its full ADMM state (consensus + duals) and feeds
-    both to :func:`solve_collective` — the standard warm-start trick of
-    the surrogate-optimization literature applied across sweep points.
+    optima.  This callable keeps the previous call's fractional state —
+    the ``in`` memberships *and* the auxiliary ``explained``/``errorOf``
+    atom values — plus its full ADMM state (consensus + duals) and feeds
+    all of it to :func:`solve_collective` — the standard warm-start trick
+    of the surrogate-optimization literature applied across sweep points.
     When the grounding structure is unchanged (weight-only re-solves)
     the dual state is restored and the solver converges in a handful of
     iterations; when it differs (noise changed the example) the solver
-    falls back to the fractional-membership start.  Candidate indices
-    carry over positionally, so chaining is most effective when
-    successive problems share their candidate grid.
+    falls back to the fractional start, now covering every atom whose
+    positional key still exists rather than only the memberships.
+    Candidate and fact indices carry over positionally, so chaining is
+    most effective when successive problems share their candidate grid.
 
     Only *converged* solves are chained: a solve truncated at the
     iteration cap yields a start-dependent iterate, and feeding it
@@ -215,6 +494,7 @@ class WarmStartedCollective:
     def __init__(self, settings: CollectiveSettings | None = None):
         self._settings = settings
         self._previous: dict[int, float] | None = None
+        self._previous_aux: dict[tuple[str, int], float] | None = None
         self._previous_state: AdmmWarmState | None = None
 
     def __call__(self, problem: SelectionProblem) -> CollectiveResult:
@@ -223,9 +503,11 @@ class WarmStartedCollective:
             self._settings,
             warm_start=self._previous,
             warm_state=self._previous_state,
+            warm_start_aux=self._previous_aux,
         )
         if result.converged:
             self._previous = dict(result.fractional)
+            self._previous_aux = dict(result.fractional_aux)
             self._previous_state = result.admm_state
         else:
             self.reset()
@@ -234,4 +516,5 @@ class WarmStartedCollective:
     def reset(self) -> None:
         """Forget the chained state (start the next call cold)."""
         self._previous = None
+        self._previous_aux = None
         self._previous_state = None

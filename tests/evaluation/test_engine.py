@@ -90,6 +90,88 @@ def test_process_executor_grid_matches_serial():
     assert [c.run.objective for c in a.cells] == [c.run.objective for c in b.cells]
 
 
+def test_config_hash_is_stable_and_distinct():
+    from dataclasses import replace
+
+    from repro.evaluation.engine import config_hash
+
+    assert config_hash(SMALL) == config_hash(ScenarioConfig(**SMALL.__dict__))
+    assert config_hash(SMALL) != config_hash(replace(SMALL, seed=SMALL.seed + 1))
+
+
+def test_scenario_cache_persists_to_disk(tmp_path):
+    from repro.selection.metrics import problem_fingerprint
+
+    first = ScenarioCache(cache_dir=tmp_path)
+    scenario, generate_seconds = first.scenario(SMALL)
+    problem, problem_seconds = first.problem(SMALL)
+    assert generate_seconds > 0.0 and problem_seconds > 0.0
+    assert len(list(tmp_path.glob("*.scenario.json"))) == 1
+    assert len(list(tmp_path.glob("*.problem.pkl"))) == 1
+
+    # A fresh cache (new session) loads from disk instead of regenerating.
+    second = ScenarioCache(cache_dir=tmp_path)
+    loaded_scenario, _ = second.scenario(SMALL)
+    loaded_problem, _ = second.problem(SMALL)
+    assert loaded_scenario.config == scenario.config
+    # The JSON format stores facts repr-sorted; compare order-insensitively.
+    assert sorted(repr(f) for f in loaded_scenario.target) == sorted(
+        repr(f) for f in scenario.target
+    )
+    assert problem_fingerprint(loaded_problem) == problem_fingerprint(problem)
+
+    # Disk hits must produce the same grid results as generation.
+    a = EvaluationEngine(methods=("greedy",)).run_grid([SMALL])
+    b = EvaluationEngine(methods=("greedy",), cache_dir=tmp_path).run_grid([SMALL])
+    assert [(c.method, c.run.selected, c.run.objective) for c in a.cells] == [
+        (c.method, c.run.selected, c.run.objective) for c in b.cells
+    ]
+
+
+def test_partial_disk_cache_state_rebuilds_identically(tmp_path):
+    """scenario.json present but problem.pkl gone: rebuild must match.
+
+    The problem build is order-canonical (repr-sorted chase and j_facts),
+    so a problem rebuilt from the JSON-roundtripped scenario fingerprints
+    identically to one built from the freshly generated scenario."""
+    from repro.selection.metrics import problem_fingerprint
+
+    first = ScenarioCache(cache_dir=tmp_path)
+    first.scenario(SMALL)
+    reference, _ = first.problem(SMALL)
+    for pkl in tmp_path.glob("*.problem.pkl"):
+        pkl.unlink()
+    second = ScenarioCache(cache_dir=tmp_path)
+    rebuilt, _ = second.problem(SMALL)
+    assert problem_fingerprint(rebuilt) == problem_fingerprint(reference)
+
+
+def test_corrupt_disk_cache_falls_back_to_generation(tmp_path):
+    from repro.evaluation.engine import config_hash
+
+    (tmp_path / f"{config_hash(SMALL)}.scenario.json").write_text("{broken")
+    (tmp_path / f"{config_hash(SMALL)}.problem.pkl").write_bytes(b"junk")
+    cache = ScenarioCache(cache_dir=tmp_path)
+    scenario, _ = cache.scenario(SMALL)
+    problem, _ = cache.problem(SMALL)
+    assert scenario.config == SMALL
+    assert problem.num_candidates > 0
+
+
+def test_engine_threads_ground_options_into_collective():
+    plain = EvaluationEngine(methods=("collective",), warm_start=False)
+    sharded = EvaluationEngine(
+        methods=("collective",),
+        warm_start=False,
+        ground_executor="serial",
+        ground_shard_size=2,
+    )
+    a = plain.run_grid([SMALL])
+    b = sharded.run_grid([SMALL])
+    assert [c.run.selected for c in a.cells] == [c.run.selected for c in b.cells]
+    assert [c.run.objective for c in a.cells] == [c.run.objective for c in b.cells]
+
+
 def test_unknown_method_rejected():
     with pytest.raises(ReproError):
         evaluate_config_cells(

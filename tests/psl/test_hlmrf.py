@@ -67,6 +67,53 @@ def test_energy_sums_potentials():
     assert mrf.energy([0.25]) == pytest.approx(0.25 + 3 * 0.75)
 
 
+def test_constant_potentials_tracked_not_dropped():
+    """Regression: constant potentials must contribute to the energy.
+
+    Empty (or all-zero) coefficients with a positive offset used to be
+    silently discarded, making reported energies smaller than the true
+    objective."""
+    mrf = HingeLossMRF()
+    mrf.add_potential({}, 0.7, weight=2.0)  # 2 * max(0, 0.7)
+    mrf.add_potential({X(0): 0.0}, 0.5, weight=4.0, squared=True)  # 4 * 0.5^2
+    mrf.add_potential({}, -1.0, weight=5.0)  # hinge is 0: no energy
+    assert mrf.potentials == []
+    assert mrf.constant_energy == pytest.approx(2 * 0.7 + 4 * 0.25)
+    assert mrf.energy([0.0]) == pytest.approx(2.4)
+    mrf.add_potential({X(0): 1.0}, 0.0, weight=1.0)
+    assert mrf.energy([0.25]) == pytest.approx(2.4 + 0.25)
+
+
+def test_admm_reported_energy_includes_constant_term():
+    from repro.psl.admm import AdmmSolver
+
+    mrf = HingeLossMRF()
+    mrf.add_potential({X(0): 1.0}, 0.0, weight=1.0)
+    mrf.add_potential({}, 1.5, weight=2.0)
+    result = AdmmSolver(mrf).solve()
+    assert result.x[0] == pytest.approx(0.0, abs=1e-4)
+    assert result.energy == pytest.approx(mrf.energy(result.x))
+    assert result.energy >= 3.0  # the constant floor
+
+
+def test_program_grounding_keeps_fully_observed_constant_energy():
+    """A grounding whose atoms are all observed still costs real energy."""
+    from repro.psl.program import PslProgram
+    from repro.psl.rule import lit
+
+    program = PslProgram()
+    p = program.predicate("p", 1)
+    q = program.predicate("q", 1, closed=False)
+    program.observe(p("a"))
+    program.observe(q("a"), 0.25)  # observed open atom: fully observed grounding
+    program.rule([lit(p, "X")], [lit(q, "X")], weight=2.0)
+    mrf = program.ground()
+    assert mrf.potentials == []
+    # distance to satisfaction = max(0, 1 - 0.25) weighted by 2.
+    assert mrf.constant_energy == pytest.approx(1.5)
+    assert mrf.energy([]) == pytest.approx(1.5)
+
+
 def test_max_violation():
     mrf = HingeLossMRF()
     mrf.add_constraint({X(0): 1.0}, -0.5)  # x <= 0.5

@@ -134,6 +134,54 @@ def test_warm_started_collective_chains_state():
     assert second.iterations < first.iterations
 
 
+def test_fractional_aux_reports_explained_atoms(problems):
+    result = solve_collective(problems[0])
+    kinds = {kind for kind, _ in result.fractional_aux}
+    assert kinds == {"explained"}  # paper example has no shared errors
+    assert all(0.0 <= v <= 1.0 for v in result.fractional_aux.values())
+
+
+def test_warm_start_aux_seeds_auxiliary_atoms(problems):
+    cold = solve_collective(problems[1])
+    warm = solve_collective(
+        problems[1],
+        warm_start=cold.fractional,
+        warm_start_aux=cold.fractional_aux,
+    )
+    assert warm.selected == cold.selected
+    assert warm.objective == cold.objective
+    # Unknown aux keys are ignored, like unknown candidate indices.
+    ok = solve_collective(
+        problems[1], warm_start_aux={("explained", 999): 1.0, ("nope", 0): 0.5}
+    )
+    assert ok.selected == cold.selected
+
+
+def test_warm_started_collective_chains_aux_state():
+    from repro.selection.collective import WarmStartedCollective
+
+    ex = paper_example(extra_projects=3)
+    problem = build_selection_problem(ex.source, ex.target, ex.candidates)
+    warm = WarmStartedCollective()
+    first = warm(problem)
+    assert warm._previous_aux == first.fractional_aux
+    second = warm(problem)
+    assert second.selected == first.selected
+
+
+def test_sharded_ground_executor_matches_serial_solve(problems):
+    for problem in problems:
+        serial = solve_collective(problem)
+        sharded = solve_collective(
+            problem,
+            CollectiveSettings(ground_executor="serial", ground_shard_size=1),
+        )
+        assert sharded.selected == serial.selected
+        assert sharded.objective == serial.objective
+        assert sharded.grounding is not None
+        assert sharded.grounding.num_shards >= 1
+
+
 def test_warm_start_ignores_unknown_indices():
     from repro.examples_data import paper_example
     from repro.selection.collective import solve_collective
