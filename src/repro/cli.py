@@ -54,18 +54,31 @@ def _build_parser() -> argparse.ArgumentParser:
     select.add_argument(
         "--executor",
         default="serial",
-        help="where the selection problem is built: serial or process[:N]",
+        help="where the selection problem is built: serial, thread[:N] or process[:N]",
     )
     select.add_argument(
         "--ground-executor",
         default=None,
-        help="where the collective HL-MRF grounding shards run: serial or process[:N]",
+        help="where the collective HL-MRF grounding shards run: serial, thread[:N] or process[:N]",
     )
     select.add_argument(
         "--ground-shard-size",
         type=int,
         default=None,
         help="entries per grounding shard (default: sharding module default)",
+    )
+    select.add_argument(
+        "--solve-executor",
+        default=None,
+        help="where the partitioned ADMM block updates run: serial, thread[:N] "
+        "or process[:N]",
+    )
+    select.add_argument(
+        "--solve-block-size",
+        type=int,
+        default=None,
+        help="terms per ADMM partition block (default: inherit the grounding "
+        "shard structure)",
     )
 
     sweep = sub.add_parser("sweep", help="quality-vs-noise sweep")
@@ -81,18 +94,31 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--executor",
         default="serial",
-        help="where grid cells run: serial or process[:N]",
+        help="where grid cells run: serial, thread[:N] or process[:N]",
     )
     sweep.add_argument(
         "--ground-executor",
         default=None,
-        help="where the collective HL-MRF grounding shards run: serial or process[:N]",
+        help="where the collective HL-MRF grounding shards run: serial, thread[:N] or process[:N]",
     )
     sweep.add_argument(
         "--ground-shard-size",
         type=int,
         default=None,
         help="entries per grounding shard (default: sharding module default)",
+    )
+    sweep.add_argument(
+        "--solve-executor",
+        default=None,
+        help="where the partitioned ADMM block updates run: serial, thread[:N] "
+        "or process[:N]",
+    )
+    sweep.add_argument(
+        "--solve-block-size",
+        type=int,
+        default=None,
+        help="terms per ADMM partition block (default: inherit the grounding "
+        "shard structure)",
     )
     sweep.add_argument(
         "--cache-dir",
@@ -103,7 +129,9 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--no-warm-start",
         action="store_true",
-        help="solve every sweep cell cold instead of chaining ADMM warm starts",
+        help="solve every sweep cell cold instead of chaining ADMM warm starts "
+        "(chaining runs parallel grids as per-seed waves, so with few seeds "
+        "and many workers cold grids expose more parallelism)",
     )
     sweep.add_argument(
         "--timing",
@@ -135,17 +163,25 @@ def _cmd_select(args: argparse.Namespace) -> int:
     import time
     from functools import partial
 
+    from repro.psl.admm import AdmmSettings
     from repro.selection.collective import CollectiveSettings, solve_collective
 
     scenario = load_scenario(args.scenario)
     names = list(METHOD_REGISTRY) if args.method == "all" else [args.method]
     methods = {name: METHOD_REGISTRY[name] for name in names}
-    if "collective" in methods and (
-        args.ground_executor is not None or args.ground_shard_size is not None
-    ):
+    knobs = (
+        args.ground_executor,
+        args.ground_shard_size,
+        args.solve_executor,
+        args.solve_block_size,
+    )
+    if "collective" in methods and any(knob is not None for knob in knobs):
         methods["collective"] = partial(
             solve_collective,
             settings=CollectiveSettings(
+                admm=AdmmSettings(
+                    executor=args.solve_executor, block_size=args.solve_block_size
+                ),
                 ground_executor=args.ground_executor,
                 ground_shard_size=args.ground_shard_size,
             ),
@@ -188,6 +224,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         ground_executor=args.ground_executor,
         ground_shard_size=args.ground_shard_size,
+        solve_executor=args.solve_executor,
+        solve_block_size=args.solve_block_size,
     )
     sweep = engine.sweep(base, args.noise, args.levels, args.seeds)
     columns = [*DEFAULT_GRID_METHODS, "gold"]

@@ -35,7 +35,12 @@ from repro.evaluation import (
     run_methods,
     run_scenario,
 )
-from repro.executors import ProcessExecutor, SerialExecutor, resolve_executor
+from repro.executors import (
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    resolve_executor,
+)
 from repro.homomorphism import CoverComputer, covers, creates, find_homomorphism
 from repro.ibench import ScenarioConfig, generate_scenario
 from repro.io import load_scenario, save_scenario
@@ -47,10 +52,11 @@ from repro.queries import (
     workload_for_schema,
 )
 from repro.mappings import Atom, StTgd, Variable, atom, parse_tgd, parse_tgds, var
-from repro.psl import AdmmSettings, PslProgram, lit
+from repro.psl import AdmmSettings, PslProgram, TermPartition, build_partition, lit
 from repro.selection.weight_learning import learn_weights, training_pairs_from_scenarios
 from repro.selection import (
     CollectiveSettings,
+    CollectiveWarmPayload,
     WarmStartedCollective,
     preprocess,
     problem_fingerprint,
@@ -69,6 +75,8 @@ from repro.selection import (
 
 __all__ = [
     "AdmmSettings",
+    "TermPartition",
+    "build_partition",
     "Atom",
     "CollectiveSettings",
     "Constant",
@@ -85,10 +93,12 @@ __all__ = [
     "ObjectiveWeights",
     "PrecisionRecall",
     "ProcessExecutor",
+    "ThreadExecutor",
     "PslProgram",
     "Relation",
     "ScenarioCache",
     "SerialExecutor",
+    "CollectiveWarmPayload",
     "WarmStartedCollective",
     "ScenarioConfig",
     "Schema",

@@ -21,9 +21,16 @@ runner:
   engine's ``ground_executor``/``ground_shard_size`` knobs;
 * **per-cell timing** — every :class:`GridCell` records scenario
   generation, problem build, and solve time separately;
-* **warm starting** — in serial runs the collective method chains ADMM
-  warm starts across the cells of a sweep lane (one lane per seed) via
-  :class:`~repro.selection.collective.WarmStartedCollective`.
+* **warm starting** — the collective method chains ADMM warm starts
+  across the cells of a sweep lane (one lane per seed) via
+  :class:`~repro.selection.collective.WarmStartedCollective`; serial
+  runs keep one solver per lane, parallel runs execute the lanes as
+  waves and ship each cell's chained state
+  (:class:`~repro.selection.collective.CollectiveWarmPayload`) to the
+  lane's next cell inside the work unit;
+* **partitioned solving** — the ADMM solver's block partition and
+  executor (``solve_executor``/``solve_block_size``) ride the same
+  settings into every cell.
 
 :func:`repro.evaluation.harness.run_methods`, the CLI ``sweep``/``select``
 commands, and :mod:`benchmarks.sweeps` all sit on top of this module.
@@ -46,8 +53,10 @@ from repro.ibench.config import ScenarioConfig
 from repro.ibench.generator import generate_scenario
 from repro.ibench.scenario import Scenario
 from repro.selection.baselines import select_all, solve_independent
+from repro.psl.admm import AdmmSettings
 from repro.selection.collective import (
     CollectiveSettings,
+    CollectiveWarmPayload,
     WarmStartedCollective,
     solve_collective,
 )
@@ -256,8 +265,12 @@ class ConfigCells:
 
     ``cache_dir`` (if set) points the executing process's scenario cache
     at the shared on-disk cache; ``collective_settings`` configures the
-    collective solver (sharded-grounding executor/shard size, weights…)
-    wherever the unit runs.
+    collective solver (sharded-grounding executor/shard size, ADMM
+    block/executor knobs, weights…) wherever the unit runs.
+    ``warm_payload`` carries the previous lane cell's chained collective
+    warm-start state (fractional vectors + full ADMM state) into the
+    executing process — the engine's wave scheduler sets it so
+    process-pool grids warm-start exactly like serial ones.
     """
 
     config: ScenarioConfig
@@ -265,6 +278,7 @@ class ConfigCells:
     include_gold: bool = False
     cache_dir: str | None = None
     collective_settings: CollectiveSettings | None = None
+    warm_payload: CollectiveWarmPayload | None = None
 
     def __call__(self) -> list[GridCell]:
         return evaluate_config_cells(self)
@@ -376,6 +390,21 @@ def _run_work_unit(work: ConfigCells) -> list[GridCell]:
     return evaluate_config_cells(work)
 
 
+def _run_warm_work_unit(
+    work: ConfigCells,
+) -> tuple[list[GridCell], CollectiveWarmPayload | None]:
+    """One lane step: run the cells warm-started from the shipped payload.
+
+    Reconstructs a :class:`WarmStartedCollective` from the work unit's
+    ``warm_payload``, runs the cells, and returns the solver's new
+    payload (None after an unconverged solve — the chain-reset rule) so
+    the engine can thread it into the lane's next wave.
+    """
+    solver = WarmStartedCollective(work.collective_settings, payload=work.warm_payload)
+    cells = evaluate_config_cells(work, solvers={"collective": solver})
+    return cells, solver.payload
+
+
 @dataclass
 class GridResult:
     """All cells of a grid run, with structured accessors."""
@@ -410,17 +439,31 @@ class EvaluationEngine:
             :class:`~repro.executors.MapExecutor`.
         include_gold: add the gold-reference row per scenario.
         warm_start: chain ADMM warm starts for the collective method
-            across a seed's cells (serial executor only; process workers
-            are stateless, so chaining is skipped there).
+            across a seed's cells.  Serial grids keep one
+            :class:`WarmStartedCollective` per lane; parallel grids run
+            the lanes as waves, shipping each cell's chained state to
+            the next cell inside the work unit, so both paths produce
+            the same warm-started solves.  Chaining is inherently
+            sequential within a lane, so waves bound concurrency by the
+            number of lanes (seeds) and pay one executor dispatch per
+            wave — with few seeds and many workers, a cold grid
+            (``warm_start=False``) exposes more parallelism at the cost
+            of cold solves.
         cache: scenario cache for the serial path; defaults to a fresh
             private cache (with *cache_dir* applied, when given).
         cache_dir: directory for the persistent scenario/problem cache;
             ``None`` keeps caching in-memory only.
         ground_executor: executor spec for the collective method's
-            sharded HL-MRF grounding (``"serial"``, ``"process[:N]"``);
-            forwarded to every cell, including process-pool workers.
+            sharded HL-MRF grounding (``"serial"``, ``"thread[:N]"``,
+            ``"process[:N]"``); forwarded to every cell, including
+            process-pool workers.
         ground_shard_size: entries per grounding shard (``None`` → the
             sharding default).
+        solve_executor: executor spec for the partitioned ADMM solver's
+            per-block local updates (``"thread[:N]"`` is the sensible
+            parallel choice); forwarded to every cell.
+        solve_block_size: terms per ADMM partition block (``None`` →
+            inherit the grounding shard structure recorded in the MRF).
     """
 
     def __init__(
@@ -433,6 +476,8 @@ class EvaluationEngine:
         cache_dir: str | Path | None = None,
         ground_executor: MapExecutor | str | None = None,
         ground_shard_size: int | None = None,
+        solve_executor: MapExecutor | str | None = None,
+        solve_block_size: int | None = None,
     ):
         self.methods = tuple(methods if methods is not None else DEFAULT_GRID_METHODS)
         self.executor = resolve_executor(executor)
@@ -440,9 +485,12 @@ class EvaluationEngine:
         self.warm_start = warm_start
         self.cache_dir = str(cache_dir) if cache_dir is not None else None
         self.collective_settings: CollectiveSettings | None = None
-        if ground_executor is not None or ground_shard_size is not None:
+        knobs = (ground_executor, ground_shard_size, solve_executor, solve_block_size)
+        if any(knob is not None for knob in knobs):
             self.collective_settings = CollectiveSettings(
-                ground_executor=ground_executor, ground_shard_size=ground_shard_size
+                admm=AdmmSettings(executor=solve_executor, block_size=solve_block_size),
+                ground_executor=ground_executor,
+                ground_shard_size=ground_shard_size,
             )
         self.cache = cache if cache is not None else ScenarioCache(cache_dir=cache_dir)
 
@@ -460,10 +508,41 @@ class EvaluationEngine:
         ]
         if isinstance(self.executor, SerialExecutor):
             cells = self._run_serial(jobs)
+        elif self.warm_start and "collective" in self.methods:
+            cells = self._run_waves(jobs)
         else:
             nested = self.executor.map(_run_work_unit, jobs)
             cells = [cell for group in nested for cell in group]
         return GridResult(cells)
+
+    def _run_waves(self, jobs: Sequence[ConfigCells]) -> list[GridCell]:
+        # Parallel grids with warm starts: cells of one lane (seed) must
+        # run in order so each can chain the previous solve's state, but
+        # lanes are independent — so run the grid as waves, one cell per
+        # lane at a time, shipping each lane's CollectiveWarmPayload into
+        # its next work unit.  Per-lane results are identical to the
+        # serial path's because the payload *is* the chained state.
+        lanes: dict[int, list[int]] = {}
+        for position, job in enumerate(jobs):
+            lanes.setdefault(job.config.seed, []).append(position)
+        payloads: dict[int, CollectiveWarmPayload | None] = {}
+        groups: list[list[GridCell] | None] = [None] * len(jobs)
+        depth = max((len(positions) for positions in lanes.values()), default=0)
+        for step in range(depth):
+            wave = [
+                (seed, positions[step])
+                for seed, positions in lanes.items()
+                if len(positions) > step
+            ]
+            wave_jobs = [
+                replace(jobs[position], warm_payload=payloads.get(seed))
+                for seed, position in wave
+            ]
+            results = self.executor.map(_run_warm_work_unit, wave_jobs)
+            for (seed, position), (cells, payload) in zip(wave, results):
+                groups[position] = cells
+                payloads[seed] = payload
+        return [cell for group in groups if group is not None for cell in group]
 
     def _run_serial(self, jobs: Sequence[ConfigCells]) -> list[GridCell]:
         # One warm-start lane per (method, seed): successive levels of a

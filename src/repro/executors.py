@@ -1,30 +1,46 @@
 """Pluggable map-style executors for embarrassingly parallel work.
 
-The selection pipeline and the evaluation engine both fan out over
-independent, picklable work units (one per candidate, one per grid cell).
-This module gives them a common, minimal execution abstraction:
+The selection pipeline, the evaluation engine, sharded grounding, and
+the partitioned ADMM solver all fan out over independent, picklable work
+units (one per candidate, per grid cell, per grounding shard, per solver
+block).  This module gives them a common, minimal execution abstraction:
 
 * :class:`SerialExecutor` — in-process ``map``; zero overhead, always
   available, shares in-process caches with the caller;
+* :class:`ThreadExecutor` — a shared ``ThreadPoolExecutor``; cheap
+  per-call dispatch and shared memory, the right backend for numpy-heavy
+  steps (which release the GIL) mapped many times, e.g. the per-block
+  ADMM local updates;
 * :class:`ProcessExecutor` — ``concurrent.futures.ProcessPoolExecutor``
   with chunked dispatch; true multi-core parallelism for CPU-bound pure
   Python work.
 
-Both preserve input order, so callers get deterministic merges for free.
-``resolve_executor`` turns user-facing specs (``"serial"``, ``"process"``,
-``"process:8"``) into executor objects — the form the CLI exposes.
+All executors preserve input order, so callers get deterministic merges
+for free.  :meth:`ProcessExecutor.map` *streams*: it returns a generator
+that owns the pool's lifetime and keeps only a bounded window of chunks
+in flight, so a caller that merges results one by one (sharded
+grounding) holds O(window) results, not O(all work units).
+``resolve_executor`` turns user-facing specs (``"serial"``,
+``"thread[:N]"``, ``"process[:8]"``) into executor objects — the form
+the CLI exposes.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+import threading
+import weakref
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from itertools import islice
 from typing import Callable, Iterator, Protocol, Sequence, TypeVar
 
 from repro.errors import ReproError
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+_SENTINEL = object()
 
 
 class MapExecutor(Protocol):
@@ -44,37 +60,205 @@ class SerialExecutor:
         return "SerialExecutor()"
 
 
-class ProcessExecutor:
-    """Run work units in a pool of worker processes.
+#: Every live ThreadExecutor, so a forked child can discard inherited
+#: pools: the pool's worker *threads* do not survive fork, but the pool
+#: object does — submitting to it in the child would hang forever.
+_LIVE_THREAD_EXECUTORS: "weakref.WeakSet[ThreadExecutor]" = weakref.WeakSet()
 
-    A fresh pool is created per :meth:`map` call, so the executor object
-    itself stays picklable and stateless.  Work is dispatched in chunks to
-    amortize IPC; results come back in submission order.
+
+def _reset_thread_executors_after_fork() -> None:
+    for executor in list(_LIVE_THREAD_EXECUTORS):
+        executor._discard_pool()
+
+
+if hasattr(os, "register_at_fork"):  # not on Windows
+    os.register_at_fork(after_in_child=_reset_thread_executors_after_fork)
+
+
+class ThreadExecutor:
+    """Run work units on a shared thread pool (created lazily, reused).
+
+    Threads share the caller's memory, so work units need not be
+    picklable and large arrays travel for free — but pure-Python work
+    still serializes on the GIL.  The sweet spot is numpy-dominated
+    steps mapped many times (the partitioned ADMM local updates: one
+    ``map`` per iteration), where per-call pool reuse matters and the
+    heavy ops release the GIL.  Instances pickle as their configuration
+    only; the pool is rebuilt lazily wherever they land.
+
+    The pool is kept for the instance's lifetime (idle threads are
+    joined at interpreter exit); :func:`resolve_executor` hands out one
+    shared instance per worker count, so resolving ``"thread:N"`` once
+    per solver does not accumulate pools.  Because instances are shared,
+    a :meth:`map` issued *from one of the pool's own worker threads*
+    (e.g. an engine grid on ``thread:2`` whose cells solve with
+    ``thread:2``) runs inline instead of queueing: the nested tasks
+    would otherwise wait behind the very jobs occupying every worker —
+    a deadlock, not a slowdown.
     """
 
     def __init__(self, max_workers: int | None = None):
         self.max_workers = max_workers or os.cpu_count() or 1
+        self._discard_pool()
+        _LIVE_THREAD_EXECUTORS.add(self)
+
+    def _discard_pool(self) -> None:
+        """Forget the pool and its worker bookkeeping (fresh state)."""
+        self._pool: ThreadPoolExecutor | None = None
+        self._lock = threading.Lock()
+        self._worker_idents: set[int] = set()
+
+    def _register_worker(self) -> None:
+        self._worker_idents.add(threading.get_ident())
 
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> Iterator[R]:
         items = list(items)
         if len(items) <= 1 or self.max_workers <= 1:
             return map(fn, items)
-        chunksize = max(1, len(items) // (self.max_workers * 4))
-        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-            # Materialize inside the context manager so the pool is not
-            # torn down while results are still streaming.
-            return iter(list(pool.map(fn, items, chunksize=chunksize)))
+        if threading.get_ident() in self._worker_idents:
+            # Nested map from our own pool: run inline (see class doc).
+            return map(fn, items)
+        with self._lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.max_workers, initializer=self._register_worker
+                )
+        return self._stream(fn, items, self._pool)
+
+    def _stream(
+        self, fn: Callable[[T], R], items: list[T], pool: ThreadPoolExecutor
+    ) -> Iterator[R]:
+        # Same bounded in-flight window as ProcessExecutor: submitting
+        # everything up front would buffer completed results without
+        # bound whenever workers outpace the consumer — exactly the
+        # O(whole program) peak a streaming merge exists to avoid.
+        pending: deque = deque()
+        remaining = iter(items)
+        for item in islice(remaining, 2 * self.max_workers):
+            pending.append(pool.submit(fn, item))
+        while pending:
+            result = pending.popleft().result()
+            nxt = next(remaining, _SENTINEL)
+            if nxt is not _SENTINEL:
+                pending.append(pool.submit(fn, nxt))
+            yield result
+
+    def __getstate__(self) -> dict:
+        return {"max_workers": self.max_workers}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(state["max_workers"])
+
+    def __repr__(self) -> str:
+        return f"ThreadExecutor(max_workers={self.max_workers})"
+
+
+def _run_chunk(fn: Callable[[T], R], chunk: list[T]) -> list[R]:
+    """Worker-side adapter: evaluate one chunk of work units in order."""
+    return [fn(item) for item in chunk]
+
+
+#: Upper bound on items per dispatched chunk.  Deriving chunk size only
+#: from ``len(items)`` would make the streaming window's memory O(n)
+#: in disguise (2×workers chunks of n/(4×workers) items each is half the
+#: input); the cap keeps the in-flight result buffer a true constant,
+#: at most ``2 * max_workers * _CHUNK_CAP`` results.
+_CHUNK_CAP = 64
+
+
+class ProcessExecutor:
+    """Run work units in a pool of worker processes, streaming results.
+
+    A fresh pool is created per :meth:`map` call, so the executor object
+    itself stays picklable and stateless.  Work is dispatched in chunks
+    to amortize IPC.  The returned generator owns the pool: it keeps a
+    bounded window of chunks in flight (submitting the next chunk as
+    each one completes) and yields results in submission order, so the
+    driver's peak result memory is O(window × chunk), not O(all items) —
+    what lets sharded grounding merge-as-it-goes on the parallel path
+    too.  The pool is torn down when the generator is exhausted (or
+    garbage-collected, if abandoned early).
+
+    *initializer*/*initargs* run once per worker process — the hook for
+    shipping a large shared payload (e.g. a grounding database) once per
+    worker instead of once per work unit.  On the serial fallback (one
+    item or one worker) the initializer runs in the calling process.
+    """
+
+    def __init__(self, max_workers: int | None = None):
+        self.max_workers = max_workers or os.cpu_count() or 1
+
+    def map(
+        self,
+        fn: Callable[[T], R],
+        items: Sequence[T],
+        *,
+        initializer: Callable[..., None] | None = None,
+        initargs: tuple = (),
+    ) -> Iterator[R]:
+        items = list(items)
+        if len(items) <= 1 or self.max_workers <= 1:
+            if initializer is not None:
+                initializer(*initargs)
+            return map(fn, items)
+        chunksize = max(1, min(_CHUNK_CAP, len(items) // (self.max_workers * 4)))
+        chunks = [items[lo : lo + chunksize] for lo in range(0, len(items), chunksize)]
+        return self._stream(fn, chunks, initializer, initargs)
+
+    def _stream(
+        self,
+        fn: Callable[[T], R],
+        chunks: list[list[T]],
+        initializer: Callable[..., None] | None,
+        initargs: tuple,
+    ) -> Iterator[R]:
+        with ProcessPoolExecutor(
+            max_workers=self.max_workers, initializer=initializer, initargs=initargs
+        ) as pool:
+            pending: deque = deque()
+            remaining = iter(chunks)
+            for chunk in islice(remaining, 2 * self.max_workers):
+                pending.append(pool.submit(_run_chunk, fn, chunk))
+            while pending:
+                results = pending.popleft().result()
+                nxt = next(remaining, None)
+                if nxt is not None:
+                    pending.append(pool.submit(_run_chunk, fn, nxt))
+                yield from results
 
     def __repr__(self) -> str:
         return f"ProcessExecutor(max_workers={self.max_workers})"
 
 
+#: Shared thread executors by worker count — ``resolve_executor`` hands
+#: these out so repeated "thread:N" resolutions (one per AdmmSolver, one
+#: per sweep cell...) reuse one pool instead of leaking one each.
+_THREAD_EXECUTORS: dict[int, ThreadExecutor] = {}
+
+
+def _shared_thread_executor(max_workers: int | None) -> ThreadExecutor:
+    executor = ThreadExecutor(max_workers)
+    return _THREAD_EXECUTORS.setdefault(executor.max_workers, executor)
+
+
+def _worker_count(spec: str, arg: str) -> int:
+    try:
+        workers = int(arg)
+    except ValueError:
+        raise ReproError(f"bad worker count in executor spec {spec!r}")
+    if workers < 1:
+        raise ReproError(f"worker count must be >= 1 in {spec!r}")
+    return workers
+
+
 def resolve_executor(spec: object | None) -> MapExecutor:
     """Resolve an executor spec into an executor instance.
 
-    Accepts ``None`` / ``"serial"`` (serial), ``"process"`` (one worker
-    per CPU), ``"process:N"`` (N workers), or any object that already has
-    a ``map`` method (returned as-is).
+    Accepts ``None`` / ``"serial"`` (serial), ``"thread"`` /
+    ``"thread:N"`` (the process-wide shared thread executor for that
+    worker count), ``"process"`` (one worker per CPU), ``"process:N"``
+    (N workers), or any object that already has a ``map`` method
+    (returned as-is).
     """
     if spec is None:
         return SerialExecutor()
@@ -82,17 +266,13 @@ def resolve_executor(spec: object | None) -> MapExecutor:
         name, _, arg = spec.partition(":")
         if name == "serial":
             return SerialExecutor()
+        if name == "thread":
+            return _shared_thread_executor(_worker_count(spec, arg) if arg else None)
         if name == "process":
-            if arg:
-                try:
-                    workers = int(arg)
-                except ValueError:
-                    raise ReproError(f"bad worker count in executor spec {spec!r}")
-                if workers < 1:
-                    raise ReproError(f"worker count must be >= 1 in {spec!r}")
-                return ProcessExecutor(workers)
-            return ProcessExecutor()
-        raise ReproError(f"unknown executor spec {spec!r} (use 'serial' or 'process[:N]')")
+            return ProcessExecutor(_worker_count(spec, arg) if arg else None)
+        raise ReproError(
+            f"unknown executor spec {spec!r} (use 'serial', 'thread[:N]' or 'process[:N]')"
+        )
     if hasattr(spec, "map"):
         return spec  # type: ignore[return-value]
     raise ReproError(f"cannot interpret {spec!r} as an executor")

@@ -13,6 +13,7 @@ this package re-implements the needed core in pure Python + numpy:
 """
 
 from repro.psl.admm import AdmmResult, AdmmSettings, AdmmSolver, AdmmWarmState
+from repro.psl.partition import BlockArrays, TermPartition, build_partition
 from repro.psl.database import Database
 from repro.psl.hlmrf import HardConstraint, HingeLossMRF, HingePotential
 from repro.psl.learning import RuleLearningResult, learn_rule_weights, rule_features
@@ -38,6 +39,7 @@ from repro.psl.sharding import (
 __all__ = [
     "AdmmResult",
     "AdmmSettings",
+    "BlockArrays",
     "AdmmSolver",
     "AdmmWarmState",
     "Database",
@@ -58,6 +60,8 @@ __all__ = [
     "Rule",
     "RuleVariable",
     "V",
+    "TermPartition",
+    "build_partition",
     "ground_shards",
     "learn_rule_weights",
     "lit",

@@ -1,4 +1,4 @@
-"""Consensus ADMM for HL-MRF MAP inference.
+"""Consensus ADMM for HL-MRF MAP inference, partitioned by term blocks.
 
 Follows the algorithm of Bach et al. (JMLR 2017): every potential and
 hard constraint becomes a subproblem holding local copies of its
@@ -13,6 +13,17 @@ Term kinds:
     squared hinge  w*max(0, a^T x + b)^2    lambda = 2*w*s/rho
     hard <=        project onto halfspace   lambda = max(0, d)/||a||^2
     hard ==        project onto hyperplane  lambda = d/||a||^2
+
+The local x-update is independent per term, so the solver runs it per
+*block* of the :class:`~repro.psl.partition.TermPartition` compiled from
+the MRF: by default the shard structure recorded at grounding time
+(:meth:`~repro.psl.hlmrf.HingeLossMRF.term_partition`), optionally
+re-chunked via :attr:`AdmmSettings.block_size`.  Blocks map through any
+order-preserving :class:`~repro.executors.MapExecutor`
+(:attr:`AdmmSettings.executor`); the consensus and dual steps
+scatter-gather across the blocks' disjoint copy slices.  Because blocks
+tile the flat term order, the solve is numerically identical (same
+iterates, residuals, energy) for every block size and executor.
 """
 
 from __future__ import annotations
@@ -21,23 +32,42 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.executors import MapExecutor, SerialExecutor, resolve_executor
 from repro.psl.hlmrf import HingeLossMRF
-
-_KIND_HINGE = 0
-_KIND_SQUARED = 1
-_KIND_LEQ = 2
-_KIND_EQ = 3
+from repro.psl.partition import (
+    TermPartition,
+    apply_block_x_update,
+    block_x_update,
+    build_partition,
+)
 
 
 @dataclass
 class AdmmSettings:
-    """Solver knobs; the defaults suit the paper's problem sizes."""
+    """Solver knobs; the defaults suit the paper's problem sizes.
+
+    ``executor`` selects where the per-block local x-updates run —
+    ``None``/``"serial"`` (default), ``"thread[:N]"`` (the sensible
+    parallel choice: blocks share the consensus state in memory and the
+    numpy-heavy steps release the GIL), or ``"process[:N]"`` (honours
+    the same contract but pays a full pool spawn *and* re-ships the
+    block arrays on every iteration, since the local step maps once per
+    iteration — correct and equivalence-tested, but slower than serial
+    until pools persist across maps; see ROADMAP).  Use string specs when the settings
+    object must stay picklable inside engine work units.  ``block_size``
+    overrides the grounding-recorded partition with uniform runs of that
+    many terms; ``None`` keeps the shard structure the MRF carries.
+    Neither knob changes any iterate — only where and in what chunks the
+    arithmetic happens.
+    """
 
     rho: float = 1.0
     max_iterations: int = 5000
     epsilon_abs: float = 1e-5
     epsilon_rel: float = 1e-4
     check_every: int = 10
+    executor: MapExecutor | str | None = None
+    block_size: int | None = None
 
 
 @dataclass
@@ -50,11 +80,28 @@ class AdmmWarmState:
     alongside ``z`` is what makes re-solves of the same (or a slightly
     perturbed) problem fast.  The state is only meaningful for an MRF
     with the same grounding structure; :meth:`AdmmSolver.solve` ignores
-    a state whose shapes do not match.
+    a state that fails :meth:`matches`.
+
+    ``num_terms`` records the block-structure signature of the producing
+    partition.  The dual vector's layout is the flat copy order —
+    independent of how terms were grouped into blocks — so a state taken
+    at one block size remains valid after re-partitioning (a different
+    ``block_size``, a different grounding shard size); what it must
+    *not* survive is a structurally different MRF that happens to match
+    on raw array shapes, which the term count rejects.
     """
 
     z: np.ndarray
     u: np.ndarray
+    num_terms: int | None = None
+
+    def matches(self, partition: TermPartition) -> bool:
+        """Is this state structurally valid for *partition*'s problem?"""
+        return (
+            self.z.shape == (partition.num_variables,)
+            and self.u.shape == (partition.num_copies,)
+            and (self.num_terms is None or self.num_terms == partition.num_terms)
+        )
 
 
 @dataclass
@@ -71,51 +118,40 @@ class AdmmResult:
 
 
 class AdmmSolver:
-    """Vectorized consensus-ADMM solver for one HL-MRF."""
+    """Block-partitioned consensus-ADMM solver for one HL-MRF."""
 
     def __init__(self, mrf: HingeLossMRF, settings: AdmmSettings | None = None):
         self._mrf = mrf
         self._settings = settings or AdmmSettings()
-        self._build_arrays()
+        self._partition = build_partition(mrf, self._settings.block_size)
+        self._executor = resolve_executor(self._settings.executor)
 
-    def _build_arrays(self) -> None:
-        mrf = self._mrf
-        terms = [
-            (_KIND_SQUARED if p.squared else _KIND_HINGE, p.coefficients, p.offset, p.weight)
-            for p in mrf.potentials
-        ] + [
-            (_KIND_EQ if c.equality else _KIND_LEQ, c.coefficients, c.offset, 0.0)
-            for c in mrf.constraints
+    @property
+    def partition(self) -> TermPartition:
+        return self._partition
+
+    def _local_updates(
+        self, z: np.ndarray, u: np.ndarray, x_local: np.ndarray, rho: float
+    ) -> None:
+        """Run every block's x-update, scattering into *x_local*.
+
+        Blocks own disjoint slices of the copy range, so scattering the
+        mapped results back is race-free and order-independent; the
+        executor only changes where the arithmetic runs.
+        """
+        partition = self._partition
+        if isinstance(self._executor, SerialExecutor) or partition.num_blocks <= 1:
+            for block in partition.blocks:
+                sl = block.copy_slice
+                x_local[sl] = block_x_update(block, z[block.var] - u[sl], rho)
+            return
+        payloads = [
+            (block, z[block.var] - u[block.copy_slice], rho)
+            for block in partition.blocks
         ]
-        var_index: list[int] = []
-        term_index: list[int] = []
-        coeff: list[float] = []
-        kinds: list[int] = []
-        offsets: list[float] = []
-        weights: list[float] = []
-        for t, (kind, coefficients, offset, weight) in enumerate(terms):
-            kinds.append(kind)
-            offsets.append(offset)
-            weights.append(weight)
-            for i, c in coefficients:
-                var_index.append(i)
-                term_index.append(t)
-                coeff.append(c)
-
-        self._n = mrf.num_variables
-        self._num_terms = len(terms)
-        self._var = np.asarray(var_index, dtype=np.int64)
-        self._term = np.asarray(term_index, dtype=np.int64)
-        self._a = np.asarray(coeff, dtype=np.float64)
-        self._kind = np.asarray(kinds, dtype=np.int64)
-        self._b = np.asarray(offsets, dtype=np.float64)
-        self._w = np.asarray(weights, dtype=np.float64)
-        self._normsq = np.maximum(
-            np.bincount(self._term, weights=self._a**2, minlength=self._num_terms),
-            1e-12,
-        )
-        degree = np.bincount(self._var, minlength=self._n).astype(np.float64)
-        self._degree = np.maximum(degree, 1.0)
+        results = self._executor.map(apply_block_x_update, payloads)
+        for x_block, block in zip(results, partition.blocks):
+            x_local[block.copy_slice] = x_block
 
     def solve(
         self,
@@ -126,15 +162,14 @@ class AdmmSolver:
 
         *warm_start* seeds only the consensus vector; *warm_state* (from a
         previous :attr:`AdmmResult.state`) additionally restores the local
-        duals and takes precedence when its shapes match this problem.
+        duals and takes precedence when it structurally matches this
+        problem (see :meth:`AdmmWarmState.matches` — a re-partitioned
+        solve of the same MRF still qualifies).
         """
         settings = self._settings
-        n, copies = self._n, len(self._var)
-        use_state = (
-            warm_state is not None
-            and warm_state.z.shape == (n,)
-            and warm_state.u.shape == (copies,)
-        )
+        partition = self._partition
+        n, copies = partition.num_variables, partition.num_copies
+        use_state = warm_state is not None and warm_state.matches(partition)
         if use_state:
             z = np.clip(warm_state.z.astype(np.float64), 0.0, 1.0)
         elif warm_start is not None:
@@ -144,11 +179,13 @@ class AdmmSolver:
         if copies == 0:
             return AdmmResult(
                 z, 0, True, 0.0, 0.0, self._mrf.energy(z),
-                state=AdmmWarmState(z.copy(), np.zeros(0)),
+                state=AdmmWarmState(z.copy(), np.zeros(0), partition.num_terms),
             )
 
+        var = partition.var
         u = warm_state.u.astype(np.float64).copy() if use_state else np.zeros(copies)
-        x_local = z[self._var].copy()
+        x_local = z[var].copy()
+        scratch = np.empty(copies)
         rho = settings.rho
         primal = dual = float("inf")
         iteration = 0
@@ -157,59 +194,28 @@ class AdmmSolver:
         checked_at = -1
 
         for iteration in range(1, settings.max_iterations + 1):
-            # --- local updates: x_local = v - lambda[term] * a ------------
-            v = z[self._var] - u
-            dot = np.bincount(
-                self._term, weights=self._a * v, minlength=self._num_terms
-            )
-            d0 = dot + self._b
-            lam = np.zeros(self._num_terms)
+            # --- local updates: x_local = v - lambda[term] * a, per block -
+            self._local_updates(z, u, x_local, rho)
 
-            hinge = self._kind == _KIND_HINGE
-            if hinge.any():
-                w_over_rho = self._w[hinge] / rho
-                d0_h = d0[hinge]
-                full_step_ok = d0_h - w_over_rho * self._normsq[hinge] >= 0.0
-                lam_h = np.where(
-                    d0_h <= 0.0,
-                    0.0,
-                    np.where(full_step_ok, w_over_rho, d0_h / self._normsq[hinge]),
-                )
-                lam[hinge] = lam_h
-
-            squared = self._kind == _KIND_SQUARED
-            if squared.any():
-                d0_s = d0[squared]
-                s = d0_s / (1.0 + 2.0 * self._w[squared] * self._normsq[squared] / rho)
-                lam[squared] = np.where(d0_s <= 0.0, 0.0, 2.0 * self._w[squared] * s / rho)
-
-            leq = self._kind == _KIND_LEQ
-            if leq.any():
-                lam[leq] = np.maximum(0.0, d0[leq]) / self._normsq[leq]
-
-            eq = self._kind == _KIND_EQ
-            if eq.any():
-                lam[eq] = d0[eq] / self._normsq[eq]
-
-            x_local = v - lam[self._term] * self._a
-
-            # --- consensus update -----------------------------------------
+            # --- consensus update: gather every block's copies ------------
+            np.add(x_local, u, out=scratch)
             z_old = z
             z = np.clip(
-                np.bincount(self._var, weights=x_local + u, minlength=n) / self._degree,
+                np.bincount(var, weights=scratch, minlength=n) / partition.degree,
                 0.0,
                 1.0,
             )
 
             # --- dual update ----------------------------------------------
-            u = u + x_local - z[self._var]
+            u += x_local
+            u -= z[var]
 
             if iteration % settings.check_every == 0:
                 checked_at = iteration
-                primal = float(np.linalg.norm(x_local - z[self._var]))
-                dual = float(rho * np.linalg.norm((z - z_old)[self._var]))
+                primal = float(np.linalg.norm(x_local - z[var]))
+                dual = float(rho * np.linalg.norm((z - z_old)[var]))
                 eps = settings.epsilon_abs * np.sqrt(copies) + settings.epsilon_rel * max(
-                    float(np.linalg.norm(x_local)), float(np.linalg.norm(z[self._var]))
+                    float(np.linalg.norm(x_local)), float(np.linalg.norm(z[var]))
                 )
                 if primal < eps and dual < eps:
                     converged = True
@@ -220,10 +226,10 @@ class AdmmSolver:
             # one, e.g. max_iterations < check_every): report residuals of
             # the final iterate instead of a stale/inf value, and credit
             # convergence if the final point already satisfies the tolerance.
-            primal = float(np.linalg.norm(x_local - z[self._var]))
-            dual = float(rho * np.linalg.norm((z - z_old)[self._var]))
+            primal = float(np.linalg.norm(x_local - z[var]))
+            dual = float(rho * np.linalg.norm((z - z_old)[var]))
             eps = settings.epsilon_abs * np.sqrt(copies) + settings.epsilon_rel * max(
-                float(np.linalg.norm(x_local)), float(np.linalg.norm(z[self._var]))
+                float(np.linalg.norm(x_local)), float(np.linalg.norm(z[var]))
             )
             converged = primal < eps and dual < eps
 
@@ -234,5 +240,5 @@ class AdmmSolver:
             primal_residual=primal,
             dual_residual=dual,
             energy=self._mrf.energy(z),
-            state=AdmmWarmState(z.copy(), u.copy()),
+            state=AdmmWarmState(z.copy(), u.copy(), partition.num_terms),
         )

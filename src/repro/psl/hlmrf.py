@@ -119,6 +119,13 @@ class HingeLossMRF:
     vanish (empty or all-zero with a positive offset): they do not affect
     the minimizer, but :meth:`energy` must include them for the reported
     objective to equal the true one.
+
+    Every :meth:`add_term_block` call also records the block's extent in
+    the potential and constraint lists, so the shard structure chosen at
+    grounding time survives into the model; :meth:`term_partition` hands
+    those extents to the partitioned ADMM solver
+    (:mod:`repro.psl.partition`) as contiguous runs of the flat
+    potentials-then-constraints term order.
     """
 
     variables: list[GroundAtom] = field(default_factory=list)
@@ -126,6 +133,8 @@ class HingeLossMRF:
     potentials: list[HingePotential] = field(default_factory=list)
     constraints: list[HardConstraint] = field(default_factory=list)
     constant_energy: float = 0.0
+    #: (pot_lo, pot_hi, con_lo, con_hi) extents of each add_term_block call.
+    _block_extents: list[tuple[int, int, int, int]] = field(default_factory=list)
 
     @property
     def num_variables(self) -> int:
@@ -210,6 +219,7 @@ class HingeLossMRF:
         """
         local_to_global = self.intern_atoms(atoms)
         self.constant_energy += block.constant_energy
+        pot_before, con_before = len(self.potentials), len(self.constraints)
         kinds = block.kinds
         offsets = block.offsets
         weights = block.weights
@@ -232,6 +242,47 @@ class HingeLossMRF:
                 self.constraints.append(
                     HardConstraint(pairs, float(offsets[t]), kind == KIND_EQ)
                 )
+        self._block_extents.append(
+            (pot_before, len(self.potentials), con_before, len(self.constraints))
+        )
+
+    def term_partition(self) -> tuple[tuple[int, int], ...]:
+        """Block boundaries as ``[lo, hi)`` runs of the flat term order.
+
+        The flat term order is the one the ADMM solver uses: all
+        potentials in list order, then all constraints.  A grounding
+        block whose extent holds both potentials and constraints
+        contributes two runs (its potential slice and its constraint
+        slice), so every run is contiguous in the flat order — the
+        property that makes the partitioned solver's consensus
+        accumulation bit-identical to the flat one.
+
+        On the legacy incremental path (no :meth:`add_term_block` calls),
+        or whenever the recorded extents do not exactly tile the
+        potential/constraint lists (mixed bulk + incremental
+        construction), the partition degrades to a single run covering
+        everything — always safe, never wrong.
+        """
+        num_potentials, num_constraints = len(self.potentials), len(self.constraints)
+        total = num_potentials + num_constraints
+        if total == 0:
+            return ()
+        pot_runs: list[tuple[int, int]] = []
+        con_runs: list[tuple[int, int]] = []
+        next_pot = next_con = 0
+        for pot_lo, pot_hi, con_lo, con_hi in self._block_extents:
+            if pot_lo != next_pot or con_lo != next_con:
+                return ((0, total),)
+            next_pot, next_con = pot_hi, con_hi
+            if pot_hi > pot_lo:
+                pot_runs.append((pot_lo, pot_hi))
+            if con_hi > con_lo:
+                con_runs.append((con_lo, con_hi))
+        if next_pot != num_potentials or next_con != num_constraints:
+            return ((0, total),)
+        return tuple(pot_runs) + tuple(
+            (num_potentials + lo, num_potentials + hi) for lo, hi in con_runs
+        )
 
     def energy(self, x) -> float:
         """Total weighted hinge loss at *x* (ignores constraints)."""

@@ -1,0 +1,248 @@
+"""Block-partitioned term arrays for consensus ADMM.
+
+The consensus-ADMM formulation of Bach et al. (JMLR 2017) decomposes by
+term: every potential/constraint subproblem has the closed-form local
+minimizer ``x = v - lambda * a`` and touches shared state only through
+the consensus vector ``z`` and its local duals.  The flat solver
+exploited that per *array element*; this module exploits it per *block*:
+the shard boundaries recorded at grounding time
+(:meth:`~repro.psl.hlmrf.HingeLossMRF.term_partition`) — or a uniform
+``block_size`` re-chunking — split the term range into contiguous runs,
+and each run gets its own CSR-style :class:`BlockArrays`.
+
+The per-iteration contract, relied on by :class:`~repro.psl.admm.AdmmSolver`:
+
+* :func:`block_x_update` is a pure function of one block plus its slice
+  of ``v = z[var] - u``, so blocks can run through any order-preserving
+  :class:`~repro.executors.MapExecutor` (serial, threads, processes);
+* every temporary it allocates is O(block), so the solver's transient
+  working set is bounded by the largest block — not the whole program —
+  on top of the persistent ADMM state (``z``, ``u``, ``x_local``) and
+  the consensus scatter-gather buffers;
+* block boundaries never split a term, and blocks concatenate to exactly
+  the flat potentials-then-constraints ordering, so per-term reductions
+  and the consensus accumulation see the same values in the same order
+  as the flat solver — the partitioned serial solve is numerically
+  identical (same iterates, residuals, energy) for **any** block size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import InferenceError
+from repro.psl.hlmrf import (
+    KIND_EQ,
+    KIND_HINGE,
+    KIND_LEQ,
+    KIND_SQUARED,
+    HingeLossMRF,
+)
+from repro.psl.sharding import iter_slices
+
+
+@dataclass(frozen=True)
+class BlockArrays:
+    """One contiguous run of terms in solver layout (CSR over copies).
+
+    ``term`` holds *block-local* term indices (0-based within the
+    block), so per-term reductions stay O(block); ``var`` holds *global*
+    variable indices, because variables are shared across blocks and
+    only the consensus step resolves them.  ``term_lo``/``copy_lo``
+    locate the block inside the flat term/copy ranges — the scatter
+    offsets of the consensus/dual steps.
+    """
+
+    term_lo: int
+    copy_lo: int
+    kind: np.ndarray  # int64[num_terms], KIND_* values
+    offset: np.ndarray  # float64[num_terms]
+    weight: np.ndarray  # float64[num_terms]
+    normsq: np.ndarray  # float64[num_terms], max(||a||^2, 1e-12)
+    var: np.ndarray  # int64[num_copies], global variable index
+    term: np.ndarray  # int64[num_copies], block-local term index
+    coeff: np.ndarray  # float64[num_copies]
+
+    @property
+    def num_terms(self) -> int:
+        return len(self.kind)
+
+    @property
+    def num_copies(self) -> int:
+        return len(self.var)
+
+    @property
+    def copy_slice(self) -> slice:
+        return slice(self.copy_lo, self.copy_lo + len(self.var))
+
+
+def block_x_update(block: BlockArrays, v: np.ndarray, rho: float) -> np.ndarray:
+    """One block's ADMM local step: ``x = v - lambda[term] * a``.
+
+    *v* is the block's slice of ``z[var] - u``.  The per-term scalar
+    ``lambda`` has the closed forms of the module docstring of
+    :mod:`repro.psl.admm`; everything here is elementwise or a per-term
+    ``bincount`` over block-local indices, so the result is the exact
+    slice the flat solver would have produced, computed with O(block)
+    temporaries.  Pure and picklable — safe under any executor.
+    """
+    num_terms = block.num_terms
+    dot = np.bincount(block.term, weights=block.coeff * v, minlength=num_terms)
+    d0 = dot + block.offset
+    lam = np.zeros(num_terms)
+
+    hinge = block.kind == KIND_HINGE
+    if hinge.any():
+        w_over_rho = block.weight[hinge] / rho
+        d0_h = d0[hinge]
+        full_step_ok = d0_h - w_over_rho * block.normsq[hinge] >= 0.0
+        lam[hinge] = np.where(
+            d0_h <= 0.0,
+            0.0,
+            np.where(full_step_ok, w_over_rho, d0_h / block.normsq[hinge]),
+        )
+
+    squared = block.kind == KIND_SQUARED
+    if squared.any():
+        d0_s = d0[squared]
+        s = d0_s / (1.0 + 2.0 * block.weight[squared] * block.normsq[squared] / rho)
+        lam[squared] = np.where(d0_s <= 0.0, 0.0, 2.0 * block.weight[squared] * s / rho)
+
+    leq = block.kind == KIND_LEQ
+    if leq.any():
+        lam[leq] = np.maximum(0.0, d0[leq]) / block.normsq[leq]
+
+    eq = block.kind == KIND_EQ
+    if eq.any():
+        lam[eq] = d0[eq] / block.normsq[eq]
+
+    return v - lam[block.term] * block.coeff
+
+
+def apply_block_x_update(
+    payload: tuple[BlockArrays, np.ndarray, float],
+) -> np.ndarray:
+    """Executor-map adapter for :func:`block_x_update` (module-level,
+    picklable)."""
+    block, v, rho = payload
+    return block_x_update(block, v, rho)
+
+
+@dataclass(frozen=True)
+class TermPartition:
+    """All of one MRF's solver arrays, split into per-block CSR runs.
+
+    ``var`` and ``degree`` are the global consensus structures (the
+    concatenation of the blocks' copy→variable maps, and each variable's
+    copy count); the blocks carry everything term-local.  Blocks tile
+    the flat term range in order, so ``concat(block.var for blocks) ==
+    var`` — the invariant behind the solver's scatter-gather.
+    """
+
+    num_variables: int
+    num_terms: int
+    blocks: tuple[BlockArrays, ...]
+    var: np.ndarray  # int64[num_copies], global copy -> variable
+    degree: np.ndarray  # float64[num_variables], max(copy count, 1)
+
+    @property
+    def num_copies(self) -> int:
+        return len(self.var)
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def max_block_terms(self) -> int:
+        return max((b.num_terms for b in self.blocks), default=0)
+
+    @property
+    def max_block_copies(self) -> int:
+        return max((b.num_copies for b in self.blocks), default=0)
+
+    def boundaries(self) -> tuple[tuple[int, int], ...]:
+        return tuple((b.term_lo, b.term_lo + b.num_terms) for b in self.blocks)
+
+
+def build_partition(
+    mrf: HingeLossMRF, block_size: int | None = None
+) -> TermPartition:
+    """Compile *mrf* into a :class:`TermPartition` (built once per solver).
+
+    With *block_size* unset the partition follows the block extents the
+    MRF recorded at grounding time (``mrf.term_partition()``) — one run
+    per shard-emitted term block, or a single run on the legacy
+    incremental path.  A *block_size* (>= 1) re-chunks the flat term
+    range into uniform runs of that many terms instead, decoupling the
+    solve granularity from the grounding shard size.  Either way the
+    blocks are views into one set of flat arrays, so partitioning adds
+    O(num_copies) construction work and essentially no extra memory.
+    """
+    if block_size is not None and block_size < 1:
+        raise InferenceError(f"block_size must be >= 1, got {block_size}")
+    terms = [
+        (KIND_SQUARED if p.squared else KIND_HINGE, p.coefficients, p.offset, p.weight)
+        for p in mrf.potentials
+    ] + [
+        (KIND_EQ if c.equality else KIND_LEQ, c.coefficients, c.offset, 0.0)
+        for c in mrf.constraints
+    ]
+    num_terms = len(terms)
+    var_index: list[int] = []
+    coeff: list[float] = []
+    kinds: list[int] = []
+    offsets: list[float] = []
+    weights: list[float] = []
+    term_ptr = np.zeros(num_terms + 1, dtype=np.int64)
+    for t, (kind, coefficients, offset, weight) in enumerate(terms):
+        kinds.append(kind)
+        offsets.append(offset)
+        weights.append(weight)
+        for i, c in coefficients:
+            var_index.append(i)
+            coeff.append(c)
+        term_ptr[t + 1] = len(var_index)
+
+    n = mrf.num_variables
+    var = np.asarray(var_index, dtype=np.int64)
+    a = np.asarray(coeff, dtype=np.float64)
+    kind_arr = np.asarray(kinds, dtype=np.int64)
+    offset_arr = np.asarray(offsets, dtype=np.float64)
+    weight_arr = np.asarray(weights, dtype=np.float64)
+    term = np.repeat(np.arange(num_terms, dtype=np.int64), np.diff(term_ptr))
+    normsq = np.maximum(
+        np.bincount(term, weights=a**2, minlength=num_terms), 1e-12
+    )
+    degree = np.maximum(np.bincount(var, minlength=n).astype(np.float64), 1.0)
+
+    if block_size is not None:
+        bounds = tuple(iter_slices(num_terms, block_size))
+    else:
+        bounds = mrf.term_partition()
+
+    blocks = []
+    for lo, hi in bounds:
+        copy_lo, copy_hi = int(term_ptr[lo]), int(term_ptr[hi])
+        blocks.append(
+            BlockArrays(
+                term_lo=lo,
+                copy_lo=copy_lo,
+                kind=kind_arr[lo:hi],
+                offset=offset_arr[lo:hi],
+                weight=weight_arr[lo:hi],
+                normsq=normsq[lo:hi],
+                var=var[copy_lo:copy_hi],
+                term=term[copy_lo:copy_hi] - lo,
+                coeff=a[copy_lo:copy_hi],
+            )
+        )
+    return TermPartition(
+        num_variables=n,
+        num_terms=num_terms,
+        blocks=tuple(blocks),
+        var=var,
+        degree=degree,
+    )

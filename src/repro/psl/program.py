@@ -17,13 +17,15 @@ engine.  Typical use::
 
 from __future__ import annotations
 
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Iterable, Mapping, Sequence
+from typing import Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
 from repro.errors import GroundingError, InferenceError
-from repro.executors import MapExecutor
+from repro.executors import MapExecutor, ProcessExecutor, resolve_executor
 from repro.psl.admm import AdmmResult, AdmmSettings, AdmmSolver, AdmmWarmState
 from repro.psl.database import Database
 from repro.psl.grounding import ground_rule, linearize
@@ -60,26 +62,85 @@ class InferenceResult:
         return self.admm.converged
 
 
+#: Per-thread shared-database handle installed by
+#: :func:`install_shared_database` — what rule shards fall back to when
+#: their own ``database`` field was stripped for shipping.  Thread-local
+#: rather than a plain global so concurrent grounds from different
+#: threads (each installing its own database on the executor's serial
+#: fallback) cannot read each other's handle and silently ground
+#: against the wrong program's data.  Process-pool workers are
+#: single-threaded, so the pool initializer and the shard builds see
+#: the same slot.
+_SHARED = threading.local()
+
+
+def _shared_database() -> Database | None:
+    return getattr(_SHARED, "database", None)
+
+
+def install_shared_database(database: Database | None) -> None:
+    """Pool-initializer hook: make *database* this thread's shared handle.
+
+    Grounding a many-rule program through a process pool used to pickle
+    the whole database into every :class:`RuleGroundingShard` —
+    O(rules × database) IPC.  Installing it once per worker (via
+    ``ProcessExecutor.map(initializer=...)``) lets the shards travel as
+    just rule + weight.  In the *driving* process use the scoped
+    :func:`shared_database` instead, so the handle cannot outlive the
+    grounding run it belongs to.
+    """
+    _SHARED.database = database
+
+
+@contextmanager
+def shared_database(database: Database) -> "Iterator[None]":
+    """Scope *database* as this thread's shared handle, then restore.
+
+    The driver-side counterpart of :func:`install_shared_database`: the
+    executor's serial fallback may run stripped shards (and their
+    initializer) in the calling process, and without a scope the handle
+    would leak across grounding runs — a later stripped shard belonging
+    to a *different* program would silently ground against the stale
+    database instead of raising.
+    """
+    previous = _shared_database()
+    _SHARED.database = database
+    try:
+        yield
+    finally:
+        _SHARED.database = previous
+
+
 @dataclass(frozen=True)
 class RuleGroundingShard:
     """One rule's groundings as a sharded work unit.
 
-    Ships the rule plus the database (observations + targets) to wherever
-    the shard runs; :func:`~repro.psl.grounding.ground_rule` enumerates in
-    canonical order, so the emitted block is reproducible anywhere.
+    ``database`` is the grounding data (observations + targets) — either
+    embedded in the shard (in-process executors, where "shipping" is a
+    reference copy) or ``None``, meaning the executing process's shared
+    handle installed by :func:`install_shared_database` (process pools,
+    where embedding would pickle the database once per rule).
+    :func:`~repro.psl.grounding.ground_rule` enumerates in canonical
+    order, so the emitted block is reproducible anywhere either way.
     """
 
     order: int
     rule: Rule
     weight: float | None
-    database: Database
+    database: Database | None = None
 
     def build(self) -> ShardResult:
+        database = self.database if self.database is not None else _shared_database()
+        if database is None:
+            raise GroundingError(
+                "RuleGroundingShard has no database: embed one in the shard or "
+                "install a shared one via install_shared_database()"
+            )
         builder = TermBlockBuilder()
-        for grounding in ground_rule(self.rule, self.database):
-            coefficients, constant = linearize(grounding, self.database)
+        for grounding in ground_rule(self.rule, database):
+            coefficients, constant = linearize(grounding, database)
             targets = [
-                (a, c) for a, c in coefficients.items() if self.database.is_target(a)
+                (a, c) for a, c in coefficients.items() if database.is_target(a)
             ]
             if self.rule.is_hard:
                 builder.add_constraint(targets, constant)
@@ -221,6 +282,7 @@ class PslProgram:
         self,
         weight_overrides: Mapping[Rule, float] | None = None,
         shard_size: int | None = None,
+        embed_database: bool = True,
     ) -> list[GroundingShard]:
         """The program's grounding work as picklable shard specs.
 
@@ -228,13 +290,20 @@ class PslProgram:
         constraint slices) matches the serial compilation order of
         :meth:`ground_with_origins`, so merging the specs in order
         reproduces the serial potential/constraint sequences exactly.
+
+        With ``embed_database=False`` the rule shards carry only rule +
+        weight and resolve their data through the per-process shared
+        handle of :func:`install_shared_database` — the payload diet the
+        process-pool path uses so a many-rule program ships its database
+        once per worker, not once per rule.
         """
         overrides = weight_overrides or {}
+        database = self.database if embed_database else None
         shards: list[GroundingShard] = []
         for rule in self._rules:
             shards.append(
                 RuleGroundingShard(
-                    len(shards), rule, overrides.get(rule, rule.weight), self.database
+                    len(shards), rule, overrides.get(rule, rule.weight), database
                 )
             )
         for lo, hi in iter_slices(len(self._raw_potentials), shard_size):
@@ -261,16 +330,31 @@ class PslProgram:
 
         Target atoms are interned up front in insertion order — the same
         variable order the serial path produces — then shard term blocks
-        are merged in spec order.
+        are merged in spec order.  On a process executor the database is
+        shipped once per worker (pool initializer) instead of being
+        pickled into every rule shard; in-process executors keep it
+        embedded, where it costs nothing.
         """
         mrf = HingeLossMRF()
         for atom in self.database.targets_in_order:
             mrf.variable_index(atom)
-        return ground_shards(
-            self.grounding_shards(weight_overrides, shard_size),
-            executor=executor,
-            mrf=mrf,
+        executor = resolve_executor(executor)
+        strip_database = isinstance(executor, ProcessExecutor) and bool(self._rules)
+        shards = self.grounding_shards(
+            weight_overrides, shard_size, embed_database=not strip_database
         )
+        if not strip_database:
+            return ground_shards(shards, executor=executor, mrf=mrf)
+        # The scope covers the executor's serial fallback, which runs
+        # stripped shards in this process; workers get the handle through
+        # the pool initializer and die with the pool.
+        with shared_database(self.database):
+            return ground_shards(
+                shards,
+                executor=executor,
+                mrf=mrf,
+                initializer=(install_shared_database, (self.database,)),
+            )
 
     def ground_with_origins(
         self,

@@ -30,12 +30,17 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import Iterable, Protocol, Sequence
+from typing import Callable, Iterable, Protocol, Sequence
 
 import numpy as np
 
 from repro.errors import InferenceError
-from repro.executors import MapExecutor, resolve_executor
+from repro.executors import (
+    MapExecutor,
+    ProcessExecutor,
+    ThreadExecutor,
+    resolve_executor,
+)
 from repro.psl.hlmrf import (
     KIND_EQ,
     KIND_HINGE,
@@ -225,6 +230,7 @@ def ground_shards(
     shards: Sequence[GroundingShard],
     executor: MapExecutor | str | None = None,
     mrf: HingeLossMRF | None = None,
+    initializer: "tuple[Callable[..., None], tuple]" | None = None,
 ) -> tuple[HingeLossMRF, GroundingStats]:
     """Execute *shards* through *executor* and merge them deterministically.
 
@@ -233,14 +239,43 @@ def ground_shards(
     spec order, so the resulting MRF is independent of where the shards
     ran.  Pass *mrf* to merge into a pre-seeded MRF (e.g. one whose
     target variables were interned up front to pin the variable order).
-    On the serial path results stream one at a time — nothing but the
-    current shard's block is held between merges.
+    Results stream one at a time on every path — serially trivially, and
+    through :meth:`~repro.executors.ProcessExecutor.map`'s bounded
+    in-flight window on the parallel path — so nothing but O(window)
+    shard blocks is held between merges.
+
+    *initializer* is an optional ``(callable, args)`` pair that must run
+    once in every process executing shards *before* any shard builds —
+    the hook producers use to ship a shared payload (e.g. a grounding
+    database) once per worker instead of once per shard.  On a
+    :class:`~repro.executors.ProcessExecutor` it becomes the pool
+    initializer; on executors that run shards on the *calling thread*
+    (serial and serial-like) it simply runs here first.  It is rejected
+    for :class:`~repro.executors.ThreadExecutor`, whose pool threads
+    would not see a thread-scoped payload installed here — embed the
+    data in the shards instead (in-process, that costs nothing).
     """
     executor = resolve_executor(executor)
     mrf = mrf if mrf is not None else HingeLossMRF()
     stats = GroundingStats()
     ordered = list(shards)
-    for position, result in enumerate(executor.map(ground_shard, ordered)):
+    if initializer is not None and isinstance(executor, ProcessExecutor):
+        init_fn, init_args = initializer
+        results = executor.map(
+            ground_shard, ordered, initializer=init_fn, initargs=init_args
+        )
+    else:
+        if initializer is not None:
+            if isinstance(executor, ThreadExecutor):
+                raise InferenceError(
+                    "ground_shards initializer is not supported on a thread "
+                    "executor (pool threads would not see a thread-scoped "
+                    "payload); embed the data in the shards instead"
+                )
+            init_fn, init_args = initializer
+            init_fn(*init_args)
+        results = executor.map(ground_shard, ordered)
+    for position, result in enumerate(results):
         if result.order != position:
             raise InferenceError(
                 f"shard results arrived out of order: expected {position}, "

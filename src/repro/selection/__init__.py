@@ -10,6 +10,7 @@ from repro.selection.collective import (
     CollectivePlan,
     CollectiveResult,
     CollectiveSettings,
+    CollectiveWarmPayload,
     WarmStartedCollective,
     build_program,
     ground_collective,
@@ -57,6 +58,7 @@ __all__ = [
     "CollectivePlan",
     "CollectiveResult",
     "CollectiveSettings",
+    "CollectiveWarmPayload",
     "DEFAULT_WEIGHTS",
     "IncrementalObjective",
     "ObjectiveBreakdown",

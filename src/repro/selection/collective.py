@@ -31,12 +31,15 @@ produce identical ground facts) are mediated through an auxiliary
 shards (:mod:`repro.psl.sharding`): coverage shards over slices of
 ``j_facts``, error shards over slices of the shared-error owner groups,
 prior shards over slices of the candidate list.  Each shard is a small
-picklable spec carrying only its slice of the tables, so on the
-streaming serial path the peak working set of a build is O(largest
-shard) (the process pool currently materializes results before merging
-— see ROADMAP), and the deterministic merge reproduces the serial
-compilation byte for byte under any
-:class:`~repro.executors.MapExecutor` and any shard size.
+picklable spec carrying only its slice of the tables, so the peak
+working set of a build is O(largest shard) — the serial path streams
+merges one shard at a time, and the process pool's map keeps only a
+bounded window of results in flight — and the deterministic merge
+reproduces the serial compilation byte for byte under any
+:class:`~repro.executors.MapExecutor` and any shard size.  The shard
+boundaries survive into the merged MRF as term-block extents, which the
+partitioned ADMM solver (:mod:`repro.psl.partition`) reuses as its
+default solve partition.
 """
 
 from __future__ import annotations
@@ -83,8 +86,14 @@ class CollectiveSettings:
 
     ``ground_executor``/``ground_shard_size`` select where and how finely
     the HL-MRF grounding shards run (``None`` → serial, default shard
-    size).  Use string specs (``"process:4"``) when the settings object
-    itself must stay picklable, e.g. inside engine work units.
+    size).  The solve-side twins live on ``admm``:
+    :attr:`~repro.psl.admm.AdmmSettings.executor` maps the partitioned
+    ADMM block updates, and
+    :attr:`~repro.psl.admm.AdmmSettings.block_size` re-chunks the term
+    partition (by default the solver inherits the grounding shard
+    structure the MRF records).  Use string specs (``"process:4"``) when
+    the settings object itself must stay picklable, e.g. inside engine
+    work units.
     """
 
     weights: ObjectiveWeights = DEFAULT_WEIGHTS
@@ -464,6 +473,24 @@ def solve_collective(
     )
 
 
+@dataclass(frozen=True)
+class CollectiveWarmPayload:
+    """A picklable warm-start baton: one lane step's chained state.
+
+    Exactly what :class:`WarmStartedCollective` carries between calls —
+    the fractional ``in`` memberships, the auxiliary
+    ``explained``/``errorOf`` values, and the full ADMM state — packaged
+    so it can ride inside a sweep work unit to a worker process.  The
+    engine's process-pool path ships the previous cell's payload forward
+    through each lane (see ``EvaluationEngine``), which is what lets
+    process grids warm-start exactly like serial ones.
+    """
+
+    fractional: tuple[tuple[int, float], ...]
+    aux: tuple[tuple[tuple[str, int], float], ...]
+    state: AdmmWarmState | None
+
+
 class WarmStartedCollective:
     """A collective solver that chains warm starts across successive calls.
 
@@ -489,13 +516,36 @@ class WarmStartedCollective:
 
     Instances satisfy the harness ``Solver`` protocol; each engine sweep
     lane gets its own instance, so there is no cross-talk between seeds.
+    In serial grids the instance simply lives across a lane's cells; in
+    process grids each cell reconstructs one from the previous cell's
+    :attr:`payload` shipped inside the work unit — the two are
+    equivalent because the payload is the chained state, verbatim.
     """
 
-    def __init__(self, settings: CollectiveSettings | None = None):
+    def __init__(
+        self,
+        settings: CollectiveSettings | None = None,
+        payload: CollectiveWarmPayload | None = None,
+    ):
         self._settings = settings
         self._previous: dict[int, float] | None = None
         self._previous_aux: dict[tuple[str, int], float] | None = None
         self._previous_state: AdmmWarmState | None = None
+        if payload is not None:
+            self._previous = dict(payload.fractional)
+            self._previous_aux = dict(payload.aux)
+            self._previous_state = payload.state
+
+    @property
+    def payload(self) -> CollectiveWarmPayload | None:
+        """The chained state as a shippable baton (None when cold)."""
+        if self._previous is None:
+            return None
+        return CollectiveWarmPayload(
+            fractional=tuple(self._previous.items()),
+            aux=tuple((self._previous_aux or {}).items()),
+            state=self._previous_state,
+        )
 
     def __call__(self, problem: SelectionProblem) -> CollectiveResult:
         result = solve_collective(

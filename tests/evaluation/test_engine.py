@@ -76,6 +76,88 @@ def test_warm_start_lane_matches_cold_selection():
     ]
 
 
+def test_process_warm_start_waves_match_serial_lanes():
+    # Process-pool grids run warm-start lanes as waves, shipping each
+    # cell's chained CollectiveWarmPayload into the next work unit.  The
+    # payload IS the chained state, so the process grid must reproduce
+    # the serial warm-started grid cell for cell.
+    base = ScenarioConfig(num_primitives=2, rows_per_relation=6)
+    serial = EvaluationEngine(methods=("collective",), warm_start=True)
+    parallel = EvaluationEngine(
+        methods=("collective",), warm_start=True, executor="process:2"
+    )
+    a = serial.sweep(base, "pi_corresp", levels=(0, 50), seeds=(1, 2))
+    b = parallel.sweep(base, "pi_corresp", levels=(0, 50), seeds=(1, 2))
+    assert [(c.config, c.method, c.run.selected, c.run.objective) for c in a.grid.cells] == [
+        (c.config, c.method, c.run.selected, c.run.objective) for c in b.grid.cells
+    ]
+
+
+def test_warm_payload_roundtrips_through_work_units():
+    from repro.evaluation.engine import _run_warm_work_unit
+    from repro.selection.collective import WarmStartedCollective
+
+    first = ConfigCells(SMALL, ("collective",))
+    cells, payload = _run_warm_work_unit(first)
+    assert cells and payload is not None
+    assert payload.state is not None  # full ADMM state rides along
+    # Seeding a fresh solver from the payload reproduces it verbatim.
+    rebuilt = WarmStartedCollective(payload=payload).payload
+    assert rebuilt is not None
+    assert dict(rebuilt.fractional) == dict(payload.fractional)
+    assert dict(rebuilt.aux) == dict(payload.aux)
+    # The second wave, warm-started from the payload, matches a serial
+    # lane's second call on the same scenario.
+    second = ConfigCells(SMALL, ("collective",), warm_payload=payload)
+    warm_cells, _ = _run_warm_work_unit(second)
+    lane = WarmStartedCollective()
+    problem = ScenarioCache().problem(SMALL)[0]
+    lane(problem)
+    expected = lane(problem)
+    assert warm_cells[0].run.selected == expected.selected
+
+
+def test_thread_grid_with_thread_solver_terminates():
+    # Engine cells on "thread:2" whose collective solves also use
+    # "thread:2" share one pool; the nested block maps must run inline
+    # instead of deadlocking behind their own parent jobs.
+    engine = EvaluationEngine(
+        methods=("collective",),
+        executor="thread:2",
+        solve_executor="thread:2",
+        ground_executor="thread:2",
+    )
+    sweep = engine.sweep(
+        ScenarioConfig(num_primitives=2, rows_per_relation=6),
+        "pi_corresp",
+        levels=(0, 50),
+        seeds=(1, 2),
+    )
+    reference = EvaluationEngine(methods=("collective",)).sweep(
+        ScenarioConfig(num_primitives=2, rows_per_relation=6),
+        "pi_corresp",
+        levels=(0, 50),
+        seeds=(1, 2),
+    )
+    assert [c.run.selected for c in sweep.grid.cells] == [
+        c.run.selected for c in reference.grid.cells
+    ]
+
+
+def test_engine_threads_solve_options_into_collective():
+    plain = EvaluationEngine(methods=("collective",), warm_start=False)
+    tuned = EvaluationEngine(
+        methods=("collective",),
+        warm_start=False,
+        solve_executor="thread:2",
+        solve_block_size=8,
+    )
+    a = plain.run_grid([SMALL])
+    b = tuned.run_grid([SMALL])
+    assert [c.run.selected for c in a.cells] == [c.run.selected for c in b.cells]
+    assert [c.run.objective for c in a.cells] == [c.run.objective for c in b.cells]
+
+
 def test_process_executor_grid_matches_serial():
     serial = EvaluationEngine(methods=("greedy",), warm_start=False)
     parallel = EvaluationEngine(

@@ -1,0 +1,158 @@
+"""Unit tests for the term-partition layer under the ADMM solver.
+
+The contract: block boundaries recorded at grounding time (or a uniform
+``block_size`` re-chunking) tile the flat potentials-then-constraints
+term order without ever splitting a term, and the per-block arrays
+concatenate back to exactly the flat solver arrays.
+"""
+
+import numpy as np
+import pytest
+
+from repro.psl.hlmrf import HingeLossMRF
+from repro.psl.partition import block_x_update, build_partition
+from repro.psl.predicate import Predicate
+from repro.psl.sharding import TermBlockBuilder
+from repro.selection.collective import CollectiveSettings, ground_collective
+from repro.selection.metrics import build_selection_problem
+from repro.examples_data import paper_example
+
+X = Predicate("x", 1, closed=False)
+
+
+def _legacy_mrf() -> HingeLossMRF:
+    mrf = HingeLossMRF()
+    mrf.add_potential({X(0): 1.0, X(1): -0.5}, 0.25, weight=2.0)
+    mrf.add_potential({X(1): 1.0}, 0.0, weight=1.0, squared=True)
+    mrf.add_constraint({X(0): 1.0, X(2): 1.0}, -1.0)
+    mrf.add_constraint({X(2): 1.0}, -0.5, equality=True)
+    return mrf
+
+
+def _block_built_mrf(num_blocks: int = 3, terms_per_block: int = 4) -> HingeLossMRF:
+    mrf = HingeLossMRF()
+    for b in range(num_blocks):
+        builder = TermBlockBuilder()
+        for t in range(terms_per_block):
+            i = b * terms_per_block + t
+            builder.add_potential([(X(i), 1.0), (X(i + 1), -1.0)], 0.1 * t, 1.0 + b)
+            builder.add_constraint([(X(i), 1.0)], -0.75)
+        atoms, block = builder.finish()
+        mrf.add_term_block(atoms, block)
+    return mrf
+
+
+def test_legacy_mrf_partitions_as_single_run():
+    mrf = _legacy_mrf()
+    assert mrf.term_partition() == ((0, 4),)
+    partition = build_partition(mrf)
+    assert partition.num_blocks == 1
+    assert partition.num_terms == 4
+
+
+def test_empty_mrf_has_no_blocks():
+    mrf = HingeLossMRF()
+    assert mrf.term_partition() == ()
+    partition = build_partition(mrf)
+    assert partition.num_blocks == 0
+    assert partition.num_copies == 0
+
+
+def test_block_built_mrf_records_extents_per_shard():
+    mrf = _block_built_mrf(num_blocks=3, terms_per_block=4)
+    runs = mrf.term_partition()
+    # Each add_term_block holds potentials AND constraints, so it
+    # contributes one run in the potential range and one in the
+    # constraint range: 3 blocks -> 6 runs tiling all 24 terms.
+    assert len(runs) == 6
+    assert runs[0][0] == 0
+    flat = []
+    for lo, hi in runs:
+        assert lo < hi
+        flat.extend(range(lo, hi))
+    assert sorted(flat) == list(range(24))
+    # Potential runs come first (flat order is potentials then constraints).
+    assert runs[:3] == ((0, 4), (4, 8), (8, 12))
+    assert runs[3:] == ((12, 16), (16, 20), (20, 24))
+
+
+def test_mixed_bulk_and_incremental_falls_back_to_single_run():
+    mrf = _block_built_mrf(num_blocks=2, terms_per_block=2)
+    mrf.add_potential({X(0): 1.0}, 0.0, weight=1.0)  # incremental append
+    runs = mrf.term_partition()
+    assert runs == ((0, len(mrf.potentials) + len(mrf.constraints)),)
+
+
+def test_nonpositive_block_size_rejected():
+    from repro.errors import InferenceError
+
+    mrf = _legacy_mrf()
+    for bad in (0, -1, -256):
+        with pytest.raises(InferenceError):
+            build_partition(mrf, block_size=bad)
+
+
+def test_uniform_block_size_overrides_recorded_extents():
+    mrf = _block_built_mrf(num_blocks=2, terms_per_block=3)
+    partition = build_partition(mrf, block_size=5)
+    assert partition.boundaries() == ((0, 5), (5, 10), (10, 12))
+    assert partition.max_block_terms == 5
+
+
+def test_blocks_concatenate_to_flat_arrays():
+    mrf = _block_built_mrf()
+    for block_size in (None, 1, 4, 7, 1000):
+        partition = build_partition(mrf, block_size=block_size)
+        var = np.concatenate([b.var for b in partition.blocks])
+        coeff = np.concatenate([b.coeff for b in partition.blocks])
+        term = np.concatenate(
+            [b.term + b.term_lo for b in partition.blocks]
+        )
+        assert np.array_equal(var, partition.var)
+        flat = build_partition(mrf, block_size=10**9)
+        assert np.array_equal(coeff, np.concatenate([b.coeff for b in flat.blocks]))
+        assert np.array_equal(term, flat.blocks[0].term)
+        # copy slices tile the copy range in order, without gaps
+        offsets = [b.copy_lo for b in partition.blocks]
+        ends = [b.copy_lo + b.num_copies for b in partition.blocks]
+        assert offsets[0] == 0 and ends[-1] == partition.num_copies
+        assert offsets[1:] == ends[:-1]
+
+
+def test_partition_degree_counts_every_copy():
+    mrf = _legacy_mrf()
+    partition = build_partition(mrf)
+    degree = np.maximum(
+        np.bincount(partition.var, minlength=mrf.num_variables).astype(float), 1.0
+    )
+    assert np.array_equal(partition.degree, degree)
+
+
+def test_collective_grounding_blocks_survive_into_partition():
+    ex = paper_example(extra_projects=3)
+    problem = build_selection_problem(ex.source, ex.target, ex.candidates)
+    mrf, _, stats = ground_collective(
+        problem, CollectiveSettings(), shard_size=4
+    )
+    partition = build_partition(mrf)
+    assert stats.num_shards > 1
+    assert partition.num_blocks > 1
+    # No block exceeds what one grounding shard emitted.
+    assert partition.max_block_terms <= stats.peak_shard_terms
+    assert sum(b.num_terms for b in partition.blocks) == partition.num_terms
+
+
+def test_block_x_update_matches_whole_problem_update():
+    mrf = _block_built_mrf()
+    fine = build_partition(mrf, block_size=3)
+    flat = build_partition(mrf, block_size=10**9)
+    rng = np.random.default_rng(5)
+    v = rng.normal(size=flat.num_copies)
+    whole = block_x_update(flat.blocks[0], v, rho=1.0)
+    pieces = np.concatenate(
+        [
+            block_x_update(b, v[b.copy_lo : b.copy_lo + b.num_copies], rho=1.0)
+            for b in fine.blocks
+        ]
+    )
+    assert np.array_equal(whole, pieces)

@@ -198,3 +198,99 @@ def test_iter_slices_covers_range_exactly():
     assert list(iter_slices(0, 4)) == []
     assert list(iter_slices(10, 4)) == [(0, 4), (4, 8), (8, 10)]
     assert list(iter_slices(3, None))[0] == (0, 3)
+
+
+# -- rule-shard payload diet (database shipped once per worker) ---------------
+
+
+def test_rule_shards_can_travel_without_database():
+    from repro.psl.program import RuleGroundingShard, install_shared_database
+
+    program = _sample_program()
+    lean = program.grounding_shards(embed_database=False)
+    fat = program.grounding_shards()
+    rule_shards = [s for s in lean if isinstance(s, RuleGroundingShard)]
+    assert rule_shards and all(s.database is None for s in rule_shards)
+    assert all(
+        s.database is program.database
+        for s in fat
+        if isinstance(s, RuleGroundingShard)
+    )
+    # Without a shared handle the stripped shard must fail loudly...
+    from repro.errors import GroundingError
+
+    install_shared_database(None)
+    with pytest.raises(GroundingError):
+        rule_shards[0].build()
+    # ...and with one installed it emits exactly the embedded shard's block.
+    install_shared_database(program.database)
+    try:
+        lean_result = rule_shards[0].build()
+        fat_result = fat[0].build()
+        assert lean_result.atoms == fat_result.atoms
+        assert lean_result.block.num_terms == fat_result.block.num_terms
+        assert np.array_equal(lean_result.block.coefficient, fat_result.block.coefficient)
+    finally:
+        install_shared_database(None)
+
+
+@pytest.mark.parametrize("executor", ["process:2", "process:1"])
+def test_process_grounding_with_shared_database_matches_serial(executor):
+    # ground_sharded strips the database from rule shards on process
+    # executors and ships it through the pool initializer (including the
+    # one-worker serial fallback, where the initializer runs in-process).
+    program = _sample_program()
+    serial = program.ground()
+    sharded, _ = program.ground_sharded(executor=executor, shard_size=2)
+    _assert_identical(serial, sharded)
+
+
+def test_shared_database_handle_is_scoped_to_the_grounding_run():
+    # The one-worker fallback runs the initializer in this process; the
+    # handle must not outlive the run, or a later stripped shard of a
+    # *different* program would silently ground against a stale database.
+    import repro.psl.program as program_module
+
+    program = _sample_program()
+    assert program_module._shared_database() is None
+    program.ground_sharded(executor="process:1", shard_size=2)
+    assert program_module._shared_database() is None
+    stray = program.grounding_shards(embed_database=False)[0]
+    with pytest.raises(Exception):
+        stray.build()  # fails loudly instead of using a leaked handle
+
+
+def test_initializer_rejected_on_thread_executor():
+    # The shared-payload hook is thread-scoped; a thread pool's workers
+    # would never see it, so the combination must fail loudly up front.
+    from repro.psl.program import install_shared_database
+
+    program = _sample_program()
+    shards = program.grounding_shards(embed_database=False, shard_size=2)
+    with pytest.raises(InferenceError):
+        ground_shards(
+            shards,
+            executor="thread:2",
+            initializer=(install_shared_database, (program.database,)),
+        )
+
+
+def test_concurrent_grounds_do_not_cross_shared_databases():
+    # The shared handle is thread-local: two threads grounding different
+    # programs through the stripped-payload path (process:1 falls back
+    # in-process) must each see their own database.
+    from concurrent.futures import ThreadPoolExecutor
+
+    programs = [_sample_program() for _ in range(2)]
+    programs[1].observe(programs[1].predicate("friend", 2)("c", "b"), 0.4)
+    references = [mrf_fingerprint(p.ground()) for p in programs]
+    assert references[0] != references[1]
+
+    def ground(i: int) -> bytes:
+        mrf, _ = programs[i].ground_sharded(executor="process:1", shard_size=2)
+        return mrf_fingerprint(mrf)
+
+    with ThreadPoolExecutor(max_workers=2) as pool:
+        for _ in range(3):
+            results = list(pool.map(ground, [0, 1]))
+            assert results == references

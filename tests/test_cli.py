@@ -71,6 +71,55 @@ def test_sweep_prints_levels(capsys):
     assert "collective" in out
 
 
+def test_select_solver_knobs(tmp_path, capsys):
+    path = tmp_path / "scenario.json"
+    main(["generate", str(path), "--primitives", "2", "--seed", "1"])
+    assert (
+        main(
+            [
+                "select",
+                str(path),
+                "--method",
+                "collective",
+                "--solve-executor",
+                "thread:2",
+                "--solve-block-size",
+                "16",
+                "--ground-shard-size",
+                "8",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "collective" in out
+
+
+def test_sweep_solver_knobs(capsys):
+    assert (
+        main(
+            [
+                "sweep",
+                "--primitives",
+                "2",
+                "--rows",
+                "6",
+                "--seeds",
+                "1",
+                "--levels",
+                "0",
+                "--solve-executor",
+                "serial",
+                "--solve-block-size",
+                "4",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "collective" in out
+
+
 def test_generate_respects_kind_restriction(tmp_path, capsys):
     path = tmp_path / "scenario.json"
     main(["generate", str(path), "--primitives", "2", "--kinds", "CP", "--seed", "2"])

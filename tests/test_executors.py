@@ -1,0 +1,203 @@
+"""Tests for the executor abstraction: spec resolution, streaming, init.
+
+Covers the ``resolve_executor`` edge cases (bad worker counts, object
+passthrough), the bounded-window streaming behaviour of
+``ProcessExecutor.map``, per-worker initializers, and the thread
+backend's pickling contract.
+"""
+
+import pickle
+
+import pytest
+
+from repro.errors import ReproError
+from repro.executors import (
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    resolve_executor,
+)
+
+# Module-level so process workers (fork or spawn-with-import) can
+# unpickle them by reference.
+_INIT_VALUE = 0
+
+
+def _install_value(value):
+    global _INIT_VALUE
+    _INIT_VALUE = value
+
+
+def _read_value(_):
+    return _INIT_VALUE
+
+
+def _square(x):
+    return x * x
+
+
+# -- resolve_executor edge cases ---------------------------------------------
+
+
+def test_resolve_none_and_serial():
+    assert isinstance(resolve_executor(None), SerialExecutor)
+    assert isinstance(resolve_executor("serial"), SerialExecutor)
+
+
+def test_resolve_process_with_and_without_count():
+    assert isinstance(resolve_executor("process"), ProcessExecutor)
+    assert resolve_executor("process:3").max_workers == 3
+
+
+def test_resolve_thread_with_and_without_count():
+    assert isinstance(resolve_executor("thread"), ThreadExecutor)
+    assert resolve_executor("thread:2").max_workers == 2
+
+
+def test_resolve_thread_shares_one_executor_per_worker_count():
+    # One AdmmSolver is built per solve; resolving "thread:N" each time
+    # must reuse one pool, not accumulate a new one per solver.
+    assert resolve_executor("thread:2") is resolve_executor("thread:2")
+    assert resolve_executor("thread:2") is not resolve_executor("thread:3")
+
+
+@pytest.mark.parametrize("spec", ["process:0", "process:-1", "thread:0"])
+def test_resolve_rejects_nonpositive_worker_counts(spec):
+    with pytest.raises(ReproError):
+        resolve_executor(spec)
+
+
+@pytest.mark.parametrize("spec", ["process:x", "thread:2.5", "gpu", "serial-ish"])
+def test_resolve_rejects_malformed_specs(spec):
+    with pytest.raises(ReproError):
+        resolve_executor(spec)
+
+
+def test_resolve_passes_through_objects_with_map():
+    class Custom:
+        def map(self, fn, items):
+            return map(fn, items)
+
+    custom = Custom()
+    assert resolve_executor(custom) is custom
+
+
+def test_resolve_rejects_objects_without_map():
+    with pytest.raises(ReproError):
+        resolve_executor(42)
+
+
+# -- ProcessExecutor streaming -----------------------------------------------
+
+
+def test_process_map_preserves_order():
+    executor = ProcessExecutor(2)
+    assert list(executor.map(_square, list(range(25)))) == [i * i for i in range(25)]
+
+
+def test_process_map_streams_lazily():
+    # The parallel path returns a generator (the pool's owner), not a
+    # materialized list: sharded grounding merges results as they arrive.
+    executor = ProcessExecutor(2)
+    result = executor.map(_square, list(range(8)))
+    assert not isinstance(result, (list, tuple))
+    assert iter(result) is result  # a true iterator, consumed once
+    assert list(result) == [i * i for i in range(8)]
+
+
+def test_process_map_serial_fallbacks():
+    one_item = ProcessExecutor(4).map(_square, [3])
+    assert list(one_item) == [9]
+    one_worker = ProcessExecutor(1).map(_square, [2, 3])
+    assert list(one_worker) == [4, 9]
+
+
+def test_process_map_initializer_reaches_workers():
+    executor = ProcessExecutor(2)
+    results = list(
+        executor.map(
+            _read_value, list(range(8)), initializer=_install_value, initargs=(7,)
+        )
+    )
+    assert results == [7] * 8
+
+
+def test_process_map_initializer_on_serial_fallback():
+    _install_value(0)
+    executor = ProcessExecutor(1)
+    results = list(
+        executor.map(
+            _read_value, [1, 2], initializer=_install_value, initargs=(5,)
+        )
+    )
+    assert results == [5, 5]
+
+
+def test_process_map_propagates_worker_exceptions():
+    def boom(x):  # local: only reachable on the serial fallback
+        raise ValueError(x)
+
+    with pytest.raises(ValueError):
+        list(ProcessExecutor(1).map(boom, [1, 2]))
+    with pytest.raises(Exception):
+        list(ProcessExecutor(2).map(_raise, [1, 2]))
+
+
+def _raise(x):
+    raise RuntimeError(f"boom {x}")
+
+
+# -- ThreadExecutor -----------------------------------------------------------
+
+
+def test_thread_map_preserves_order_and_reuses_pool():
+    executor = ThreadExecutor(2)
+    assert list(executor.map(_square, list(range(10)))) == [i * i for i in range(10)]
+    first_pool = executor._pool
+    assert list(executor.map(_square, [4])) == [16]  # serial shortcut
+    assert list(executor.map(_square, [1, 2, 3])) == [1, 4, 9]
+    assert executor._pool is first_pool  # the pool persists across maps
+
+
+def _nested_map(executor):
+    def inner(x):
+        # A map issued from inside one of the pool's own worker threads:
+        # must run inline, not queue behind the jobs occupying the pool.
+        return sum(executor.map(_square, [x, x + 1]))
+
+    return inner
+
+
+def test_thread_executor_nested_map_does_not_deadlock():
+    # Shared "thread:N" instances serve both an engine grid and the
+    # solvers inside its cells; nested maps used to queue behind their
+    # own parents and hang forever.
+    executor = ThreadExecutor(2)
+    results = list(executor.map(_nested_map(executor), [0, 1, 2, 3]))
+    assert results == [0 + 1, 1 + 4, 4 + 9, 9 + 16]
+
+
+def test_thread_executor_pickles_without_pool():
+    executor = ThreadExecutor(3)
+    list(executor.map(_square, [1, 2]))  # force pool creation
+    clone = pickle.loads(pickle.dumps(executor))
+    assert clone.max_workers == 3
+    assert clone._pool is None
+    assert list(clone.map(_square, [2, 3])) == [4, 9]
+
+
+def _thread_map_in_worker(x):
+    # Runs inside a forked process-pool worker: the inherited shared
+    # ThreadExecutor's pool threads died with the fork, so without the
+    # at-fork reset this map would submit to a dead pool and hang.
+    executor = resolve_executor("thread:2")
+    return sum(executor.map(_square, [x, x + 1]))
+
+
+def test_shared_thread_pools_survive_fork_into_process_workers():
+    parent = resolve_executor("thread:2")
+    assert list(parent.map(_square, [1, 2, 3])) == [1, 4, 9]  # live parent pool
+    results = list(ProcessExecutor(2).map(_thread_map_in_worker, [0, 1, 2, 3]))
+    assert results == [0 + 1, 1 + 4, 4 + 9, 9 + 16]
+    # ...and the parent's own pool still works afterwards.
+    assert list(parent.map(_square, [2, 3])) == [4, 9]
