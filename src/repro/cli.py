@@ -71,7 +71,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--solve-executor",
         default=None,
         help="where the partitioned ADMM block updates run: serial, thread[:N] "
-        "or process[:N]",
+        "or process[:N] (persistent pool + shared-memory blocks)",
     )
     select.add_argument(
         "--solve-block-size",
@@ -111,7 +111,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--solve-executor",
         default=None,
         help="where the partitioned ADMM block updates run: serial, thread[:N] "
-        "or process[:N]",
+        "or process[:N] (persistent pool + shared-memory blocks)",
     )
     sweep.add_argument(
         "--solve-block-size",

@@ -460,8 +460,10 @@ class EvaluationEngine:
         ground_shard_size: entries per grounding shard (``None`` → the
             sharding default).
         solve_executor: executor spec for the partitioned ADMM solver's
-            per-block local updates (``"thread[:N]"`` is the sensible
-            parallel choice); forwarded to every cell.
+            per-block local updates — ``"thread[:N]"`` for in-process
+            parallelism, ``"process[:N]"`` for multi-core (a persistent
+            worker pool plus shared-memory block arrays keep the
+            per-iteration dispatch cheap); forwarded to every cell.
         solve_block_size: terms per ADMM partition block (``None`` →
             inherit the grounding shard structure recorded in the MRF).
     """

@@ -8,21 +8,24 @@ block).  This module gives them a common, minimal execution abstraction:
 * :class:`SerialExecutor` — in-process ``map``; zero overhead, always
   available, shares in-process caches with the caller;
 * :class:`ThreadExecutor` — a shared ``ThreadPoolExecutor``; cheap
-  per-call dispatch and shared memory, the right backend for numpy-heavy
+  per-call dispatch and shared memory, a good backend for numpy-heavy
   steps (which release the GIL) mapped many times, e.g. the per-block
   ADMM local updates;
 * :class:`ProcessExecutor` — ``concurrent.futures.ProcessPoolExecutor``
   with chunked dispatch; true multi-core parallelism for CPU-bound pure
-  Python work.
+  Python work.  In **persistent** mode the worker pool outlives
+  individual ``map`` calls (created lazily, initializer applied once per
+  worker), so a caller that maps thousands of times — the per-iteration
+  ADMM block updates — pays the pool spawn once, not per map.
 
 All executors preserve input order, so callers get deterministic merges
-for free.  :meth:`ProcessExecutor.map` *streams*: it returns a generator
-that owns the pool's lifetime and keeps only a bounded window of chunks
-in flight, so a caller that merges results one by one (sharded
-grounding) holds O(window) results, not O(all work units).
-``resolve_executor`` turns user-facing specs (``"serial"``,
-``"thread[:N]"``, ``"process[:8]"``) into executor objects — the form
-the CLI exposes.
+for free.  The parallel ``map`` paths *stream*: they return a generator
+that keeps only a bounded window of work in flight, so a caller that
+merges results one by one (sharded grounding) holds O(window) results,
+not O(all work units).  ``resolve_executor`` turns user-facing specs
+(``"serial"``, ``"thread[:N]"``, ``"process[:8]"``) into executor
+objects — the form the CLI exposes — handing out one shared (and, for
+processes, persistent) instance per backend and worker count.
 """
 
 from __future__ import annotations
@@ -32,6 +35,7 @@ import threading
 import weakref
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from contextlib import nullcontext
 from itertools import islice
 from typing import Callable, Iterator, Protocol, Sequence, TypeVar
 
@@ -60,19 +64,89 @@ class SerialExecutor:
         return "SerialExecutor()"
 
 
-#: Every live ThreadExecutor, so a forked child can discard inherited
-#: pools: the pool's worker *threads* do not survive fork, but the pool
-#: object does — submitting to it in the child would hang forever.
+#: Every live ThreadExecutor / ProcessExecutor, so a forked child can
+#: discard inherited pools: the pool's worker threads/processes do not
+#: survive fork, but the pool object does — submitting to it in the
+#: child would hang forever.
 _LIVE_THREAD_EXECUTORS: "weakref.WeakSet[ThreadExecutor]" = weakref.WeakSet()
+_LIVE_PROCESS_EXECUTORS: "weakref.WeakSet[ProcessExecutor]" = weakref.WeakSet()
 
 
-def _reset_thread_executors_after_fork() -> None:
+def _reset_executors_after_fork() -> None:
     for executor in list(_LIVE_THREAD_EXECUTORS):
+        executor._discard_pool()
+    for executor in list(_LIVE_PROCESS_EXECUTORS):
         executor._discard_pool()
 
 
 if hasattr(os, "register_at_fork"):  # not on Windows
-    os.register_at_fork(after_in_child=_reset_thread_executors_after_fork)
+    os.register_at_fork(after_in_child=_reset_executors_after_fork)
+
+
+def _close_process_executors_at_exit(force: bool = False) -> None:
+    """Shut down every live persistent process pool before exit joins.
+
+    Two exit paths need this, and neither runs the other's hooks:
+
+    * a normal interpreter exit runs ``threading._shutdown``, whose
+      first registered callbacks fire *before* non-daemon threads are
+      joined — closing the pools here lets ``concurrent.futures``' own
+      exit hook find everything already shut down instead of joining
+      worker processes that still hold open grandchild pools;
+    * a *pool worker* process exits through ``os._exit`` after
+      ``multiprocessing.util._exit_function``, skipping
+      ``threading._shutdown`` entirely — but running util finalizers.
+      Without this hook, a worker that resolved ``"process:N"`` for its
+      own nested maps (an engine cell grounding/solving through process
+      executors) would join its inner pool's processes at exit while
+      nothing ever told them to stop: a deadlock that freezes the whole
+      grid at shutdown.
+
+    *force* (the multiprocessing-finalizer path, where no thread will
+    ever consume a registered stream again) shuts pools down even with
+    live stream registrations; the threading path stays graceful so a
+    still-running consumer thread can drain first.
+    """
+    for executor in list(_LIVE_PROCESS_EXECUTORS):
+        try:
+            executor.close(force=force)
+        except Exception:
+            pass
+
+
+if hasattr(threading, "_register_atexit"):
+    # Runs at the START of threading._shutdown, last-registered first —
+    # i.e. before concurrent.futures' _python_exit joins anything.
+    threading._register_atexit(_close_process_executors_at_exit)
+
+
+_EXIT_CLOSE_PID: int | None = None
+
+
+def _register_exit_close() -> None:
+    """Register the exit hook with *this process's* multiprocessing util.
+
+    ``util.Finalize`` entries are pid-guarded AND the registry is
+    cleared by ``BaseProcess._bootstrap`` in every multiprocessing
+    child, so registering at import or at fork time is useless inside a
+    pool worker — the registration must happen lazily, after bootstrap,
+    in whichever process actually creates a persistent pool
+    (:meth:`ProcessExecutor._ensure_pool` calls this).  The hook also
+    runs a second time in the driver via multiprocessing's atexit;
+    ``close`` is idempotent, so that is harmless.
+    """
+    global _EXIT_CLOSE_PID
+    if _EXIT_CLOSE_PID == os.getpid():
+        return
+    try:
+        from multiprocessing import util as _mp_util
+
+        _mp_util.Finalize(
+            None, _close_process_executors_at_exit, args=(True,), exitpriority=50
+        )
+        _EXIT_CLOSE_PID = os.getpid()
+    except Exception:  # pragma: no cover - multiprocessing always importable
+        pass
 
 
 class ThreadExecutor:
@@ -133,15 +207,22 @@ class ThreadExecutor:
         # bound whenever workers outpace the consumer — exactly the
         # O(whole program) peak a streaming merge exists to avoid.
         pending: deque = deque()
-        remaining = iter(items)
-        for item in islice(remaining, 2 * self.max_workers):
-            pending.append(pool.submit(fn, item))
-        while pending:
-            result = pending.popleft().result()
-            nxt = next(remaining, _SENTINEL)
-            if nxt is not _SENTINEL:
-                pending.append(pool.submit(fn, nxt))
-            yield result
+        try:
+            remaining = iter(items)
+            for item in islice(remaining, 2 * self.max_workers):
+                pending.append(pool.submit(fn, item))
+            while pending:
+                result = pending.popleft().result()
+                nxt = next(remaining, _SENTINEL)
+                if nxt is not _SENTINEL:
+                    pending.append(pool.submit(fn, nxt))
+                yield result
+        finally:
+            # A raising work unit or an abandoned consumer must not
+            # leave the in-flight window running on the shared pool:
+            # cancel whatever has not started yet.
+            for future in pending:
+                future.cancel()
 
     def __getstate__(self) -> dict:
         return {"max_workers": self.max_workers}
@@ -158,6 +239,42 @@ def _run_chunk(fn: Callable[[T], R], chunk: list[T]) -> list[R]:
     return [fn(item) for item in chunk]
 
 
+def initializer_scope(initializer: Callable[..., None], initargs: tuple):
+    """Run *initializer* for the calling thread, scoped when possible.
+
+    The one place the initializer scope-hook protocol lives: an
+    initializer exposing a ``scope`` attribute (a context-manager
+    factory taking *initargs*, e.g.
+    :func:`repro.psl.program.install_shared_database`) is entered so the
+    state it installs is restored on exit; one without the hook is
+    called bare and keeps the classic run-once contract.  Used by the
+    process executor's serial fallback and by any caller that must run a
+    worker initializer on the calling thread
+    (:func:`repro.psl.sharding.ground_shards`).
+    """
+    scope = getattr(initializer, "scope", None)
+    if scope is not None:
+        return scope(*initargs)
+    initializer(*initargs)
+    return nullcontext()
+
+
+def _initarg_tokens(initargs: tuple) -> tuple:
+    """Current state tokens of initializer arguments (None when untracked).
+
+    Identity comparison alone cannot see *in-place mutation* of a
+    payload between maps; arguments may expose a ``state_token()``
+    method (e.g. :meth:`repro.psl.database.Database.state_token`) whose
+    value changes with their contents, and a persistent pool is only
+    reused while the tokens recorded at pool creation still match.
+    """
+    tokens = []
+    for arg in initargs:
+        token = getattr(arg, "state_token", None)
+        tokens.append(token() if callable(token) else None)
+    return tuple(tokens)
+
+
 #: Upper bound on items per dispatched chunk.  Deriving chunk size only
 #: from ``len(items)`` would make the streaming window's memory O(n)
 #: in disguise (2×workers chunks of n/(4×workers) items each is half the
@@ -169,24 +286,144 @@ _CHUNK_CAP = 64
 class ProcessExecutor:
     """Run work units in a pool of worker processes, streaming results.
 
-    A fresh pool is created per :meth:`map` call, so the executor object
-    itself stays picklable and stateless.  Work is dispatched in chunks
-    to amortize IPC.  The returned generator owns the pool: it keeps a
-    bounded window of chunks in flight (submitting the next chunk as
-    each one completes) and yields results in submission order, so the
-    driver's peak result memory is O(window × chunk), not O(all items) —
-    what lets sharded grounding merge-as-it-goes on the parallel path
-    too.  The pool is torn down when the generator is exhausted (or
-    garbage-collected, if abandoned early).
+    Two pool-lifecycle modes:
+
+    * ``persistent=False`` (default for direct construction) — a fresh
+      pool per :meth:`map` call, torn down when the returned generator
+      is exhausted, closed, or garbage-collected.  Stateless and simple,
+      but a caller that maps many times pays a pool spawn each time.
+    * ``persistent=True`` (what :func:`resolve_executor` hands out for
+      ``"process[:N]"`` specs) — a long-lived pool owned by the
+      executor: created lazily on the first parallel ``map``, reused
+      across calls, discarded in forked children (like
+      :class:`ThreadExecutor`), shut down by :meth:`close` (the executor
+      is a context manager) or at interpreter exit.  This is what makes
+      process-backed per-iteration maps (the ADMM block updates) and
+      repeated sharded grounds actually fast.
+
+    Work is dispatched in chunks to amortize IPC.  The returned
+    generator keeps a bounded window of chunks in flight (submitting the
+    next chunk as each one completes) and yields results in submission
+    order, so the driver's peak result memory is O(window × chunk), not
+    O(all items).  If a work unit raises or the consumer abandons the
+    generator early, in-flight chunks are cancelled (and, in fresh-pool
+    mode, the pool is shut down) — nothing keeps running unobserved.
 
     *initializer*/*initargs* run once per worker process — the hook for
     shipping a large shared payload (e.g. a grounding database) once per
-    worker instead of once per work unit.  On the serial fallback (one
-    item or one worker) the initializer runs in the calling process.
+    worker instead of once per work unit.  A persistent pool remembers
+    the initializer it was built with: later maps with the same
+    initializer (or none) reuse the warm workers, a *different*
+    initializer recycles the pool so stale worker state can never leak
+    between programs.  On the serial fallback (one item or one worker)
+    the initializer runs in the calling process — scoped, when it
+    exposes a ``scope`` context-manager attribute (e.g.
+    :func:`repro.psl.program.install_shared_database`), so the driver's
+    globals are restored once the map completes.
+
+    Instances pickle as their configuration only; the pool is rebuilt
+    lazily wherever they land.
     """
 
-    def __init__(self, max_workers: int | None = None):
+    def __init__(self, max_workers: int | None = None, persistent: bool = False):
         self.max_workers = max_workers or os.cpu_count() or 1
+        self.persistent = persistent
+        self._discard_pool()
+        _LIVE_PROCESS_EXECUTORS.add(self)
+
+    def _discard_pool(self) -> None:
+        """Forget the pool without shutdown (fresh state / after fork)."""
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_initializer: Callable[..., None] | None = None
+        self._pool_initargs: tuple = ()
+        self._pool_init_tokens: tuple = ()
+        #: Live streaming maps per pool — a pool displaced by an
+        #: initializer recycle (or close()) while another thread's
+        #: stream is still submitting to it must not be shut down under
+        #: that stream; the last stream to finish retires it instead.
+        self._active: dict[ProcessPoolExecutor, int] = {}
+        #: Pools whose stream slot was released from GC context (a
+        #: collected never-started generator), where taking the executor
+        #: lock or blocking on a shutdown could deadlock the triggering
+        #: thread; drained on the next map()/close() in normal context.
+        self._zombies: deque = deque()
+        self._lock = threading.Lock()
+
+    def close(self, force: bool = False) -> None:
+        """Shut down the persistent pool (if any); the executor stays
+        usable — a later :meth:`map` lazily builds a fresh pool.
+
+        A pool with registered live streams is normally retired by the
+        last stream's exit rather than shut down under it; *force*
+        (used by the process-exit hook, where no stream will ever run
+        again) shuts it down regardless — ``shutdown`` is idempotent,
+        so a zombie stream's later retire attempt is harmless.
+        """
+        self._drain_zombies()
+        with self._lock:
+            pool, self._pool = self._pool, None
+            self._pool_initializer = None
+            self._pool_initargs = ()
+            self._pool_init_tokens = ()
+            defer = (
+                not force and pool is not None and self._active.get(pool, 0) > 0
+            )
+        if pool is not None and not defer:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def _release_stream(self, pool: ProcessPoolExecutor, released: list) -> None:
+        """Deregister one stream exactly once (the generator's finally).
+
+        ``released`` is shared with the GC finalizer; only one of the
+        two paths runs (the finalizer fires after the generator dies,
+        the finally only while it is alive), so a plain flag suffices.
+        """
+        if released[0]:
+            return
+        released[0] = True
+        self._exit_stream(pool)
+
+    def _release_stream_from_gc(
+        self, pool: ProcessPoolExecutor, released: list
+    ) -> None:
+        """GC-finalizer twin of :meth:`_release_stream`, lock-free.
+
+        Runs during garbage collection, which can trigger on any
+        allocation — including on a thread currently holding
+        ``self._lock`` (the lock is not reentrant) or inside a pool
+        operation.  So: flip the flag, enqueue the pool (atomic deque
+        append), and let the next map()/close() in normal context do
+        the actual deregistration/retirement.
+        """
+        if released[0]:
+            return
+        released[0] = True
+        self._zombies.append(pool)
+
+    def _drain_zombies(self) -> None:
+        while True:
+            try:
+                pool = self._zombies.popleft()
+            except IndexError:
+                return
+            self._exit_stream(pool)
+
+    def _exit_stream(self, pool: ProcessPoolExecutor) -> None:
+        with self._lock:
+            count = self._active.get(pool, 1) - 1
+            if count > 0:
+                self._active[pool] = count
+                return
+            self._active.pop(pool, None)
+            retire = pool is not self._pool  # displaced while we streamed
+        if retire:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def __enter__(self) -> "ProcessExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def map(
         self,
@@ -198,24 +435,168 @@ class ProcessExecutor:
     ) -> Iterator[R]:
         items = list(items)
         if len(items) <= 1 or self.max_workers <= 1:
-            if initializer is not None:
-                initializer(*initargs)
-            return map(fn, items)
-        chunksize = max(1, min(_CHUNK_CAP, len(items) // (self.max_workers * 4)))
+            return self._serial(fn, items, initializer, initargs)
+        # Ceil-divide so a small map fills one in-flight window (about
+        # 2×workers chunks) instead of degenerating to one item per
+        # chunk: every chunk is an IPC round trip, and a latency-bound
+        # per-iteration map (the ADMM block updates) lives or dies by
+        # the round-trip count.  Large maps still hit the _CHUNK_CAP.
+        chunksize = max(
+            1, min(_CHUNK_CAP, -(-len(items) // (self.max_workers * 2)))
+        )
         chunks = [items[lo : lo + chunksize] for lo in range(0, len(items), chunksize)]
-        return self._stream(fn, chunks, initializer, initargs)
+        if not self.persistent:
+            return self._stream_fresh(fn, chunks, initializer, initargs)
+        self._drain_zombies()
+        pool = self._ensure_pool(initializer, initargs)
+        released = [False]
+        stream = self._stream_persistent(fn, chunks, pool, released)
+        # A generator that is never started never runs its finally; the
+        # GC finalizer releases its stream slot instead, so an abandoned
+        # unstarted map cannot defer the pool's retirement forever.
+        weakref.finalize(stream, self._release_stream_from_gc, pool, released)
+        return stream
 
-    def _stream(
+    def _stream_persistent(
+        self,
+        fn: Callable[[T], R],
+        chunks: list[list[T]],
+        pool: ProcessPoolExecutor,
+        released: list,
+    ) -> Iterator[R]:
+        # _ensure_pool registered this stream on the pool (atomically
+        # with the reuse-vs-recycle decision); deregistering in a finally
+        # lets a concurrent initializer recycle defer the old pool's
+        # shutdown until the last stream on it drains.
+        try:
+            yield from self._windowed(fn, chunks, pool)
+        except GeneratorExit:
+            # close() on the generator — possibly the GC collecting an
+            # abandoned stream, which can run on a thread already
+            # holding the executor lock: release via the lock-free
+            # queue, like the never-started finalizer.
+            self._release_stream_from_gc(pool, released)
+            raise
+        finally:
+            # Normal exhaustion or a work-unit exception surfaces on the
+            # consuming thread, where locking inline is safe (and the
+            # released flag makes this a no-op after the except above).
+            self._release_stream(pool, released)
+
+    def _serial(
+        self,
+        fn: Callable[[T], R],
+        items: list[T],
+        initializer: Callable[..., None] | None,
+        initargs: tuple,
+    ) -> Iterator[R]:
+        """The in-driver fallback, with the initializer scoped if possible.
+
+        :func:`initializer_scope` enters the initializer's ``scope``
+        context manager (when it has one) around the map instead of
+        calling it bare, so whatever it installs into the driver's
+        globals is restored once the map completes — running it bare
+        would leave worker-targeted state (e.g. a shared grounding
+        database) permanently installed in the driver.
+        """
+        if initializer is None:
+            yield from map(fn, items)
+            return
+        with initializer_scope(initializer, initargs):
+            yield from map(fn, items)
+
+    def _same_initializer(
+        self, initializer: Callable[..., None], initargs: tuple
+    ) -> bool:
+        return (
+            initializer is self._pool_initializer
+            and len(initargs) == len(self._pool_initargs)
+            and all(a is b for a, b in zip(initargs, self._pool_initargs))
+            and _initarg_tokens(initargs) == self._pool_init_tokens
+        )
+
+    def _ensure_pool(
+        self, initializer: Callable[..., None] | None, initargs: tuple
+    ) -> ProcessPoolExecutor:
+        """The persistent pool, recycled when unusable for this map.
+
+        A map without an initializer runs on whatever pool exists (worker
+        state is irrelevant to it); a map *with* one gets a pool whose
+        workers ran exactly that initializer — reusing the warm pool when
+        it already did, rebuilding otherwise.  "The same initializer"
+        means same callable and argument identities AND unchanged
+        argument :func:`state tokens <_initarg_tokens>` — a payload
+        mutated in place (a re-grounded program's database after new
+        ``observe``/``add_target`` calls) changes its token, so warm
+        workers holding a stale pickled snapshot are never reused.  A
+        pool whose worker died (``BrokenProcessPool``) is recycled too:
+        the fresh-pool-per-map design self-healed from crashed workers,
+        and a shared registry instance must not stay poisoned forever.
+        A displaced pool that another thread's stream is still consuming
+        is retired by that stream's exit instead of being shut down
+        under it.
+
+        The returned pool is registered as carrying one live stream —
+        under the same lock acquisition that decided reuse-vs-recycle,
+        so a concurrent recycle/close cannot shut the pool down in the
+        gap before the caller's generator starts.  The stream generator
+        deregisters via :meth:`_exit_stream`.
+        """
+        stale: ProcessPoolExecutor | None = None
+        with self._lock:
+            pool = self._pool
+            broken = pool is not None and getattr(pool, "_broken", False)
+            if (
+                pool is not None
+                and not broken
+                and (
+                    initializer is None
+                    or self._same_initializer(initializer, initargs)
+                )
+            ):
+                self._active[pool] = self._active.get(pool, 0) + 1
+                return pool
+            stale, self._pool = pool, None
+            if stale is not None and self._active.get(stale, 0) > 0:
+                stale = None  # live streams retire it on exit
+            _register_exit_close()
+            pool = ProcessPoolExecutor(
+                max_workers=self.max_workers,
+                initializer=initializer,
+                initargs=initargs,
+            )
+            self._pool = pool
+            self._pool_initializer = initializer
+            self._pool_initargs = tuple(initargs)
+            self._pool_init_tokens = _initarg_tokens(initargs)
+            self._active[pool] = 1
+        if stale is not None:
+            # Outside the lock: draining a displaced pool (its running
+            # chunks finish, pending ones are cancelled) must not stall
+            # every other thread's map()/close() on this executor.
+            stale.shutdown(wait=True, cancel_futures=True)
+        return pool
+
+    def _stream_fresh(
         self,
         fn: Callable[[T], R],
         chunks: list[list[T]],
         initializer: Callable[..., None] | None,
         initargs: tuple,
     ) -> Iterator[R]:
-        with ProcessPoolExecutor(
+        pool = ProcessPoolExecutor(
             max_workers=self.max_workers, initializer=initializer, initargs=initargs
-        ) as pool:
-            pending: deque = deque()
+        )
+        try:
+            yield from self._windowed(fn, chunks, pool)
+        finally:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def _windowed(
+        self, fn: Callable[[T], R], chunks: list[list[T]], pool: ProcessPoolExecutor
+    ) -> Iterator[R]:
+        pending: deque = deque()
+        try:
             remaining = iter(chunks)
             for chunk in islice(remaining, 2 * self.max_workers):
                 pending.append(pool.submit(_run_chunk, fn, chunk))
@@ -225,20 +606,55 @@ class ProcessExecutor:
                 if nxt is not None:
                     pending.append(pool.submit(_run_chunk, fn, nxt))
                 yield from results
+        finally:
+            # On a worker exception or an abandoned consumer, unstarted
+            # chunks must not keep a (possibly shared, persistent) pool
+            # busy; fresh-mode shutdown in _stream_fresh handles the rest.
+            for future in pending:
+                future.cancel()
+
+    def __getstate__(self) -> dict:
+        return {"max_workers": self.max_workers, "persistent": self.persistent}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(state["max_workers"], state.get("persistent", False))
 
     def __repr__(self) -> str:
-        return f"ProcessExecutor(max_workers={self.max_workers})"
+        return (
+            f"ProcessExecutor(max_workers={self.max_workers}, "
+            f"persistent={self.persistent})"
+        )
 
 
-#: Shared thread executors by worker count — ``resolve_executor`` hands
-#: these out so repeated "thread:N" resolutions (one per AdmmSolver, one
-#: per sweep cell...) reuse one pool instead of leaking one each.
+#: Shared executors by worker count — ``resolve_executor`` hands these
+#: out so repeated "thread:N" / "process:N" resolutions (one per
+#: AdmmSolver, one per sweep cell...) reuse one pool instead of leaking
+#: one each.  The process instances are persistent-mode: their worker
+#: pool survives across maps, which is what makes per-iteration
+#: process dispatch viable.
 _THREAD_EXECUTORS: dict[int, ThreadExecutor] = {}
+_PROCESS_EXECUTORS: dict[int, ProcessExecutor] = {}
 
 
 def _shared_thread_executor(max_workers: int | None) -> ThreadExecutor:
-    executor = ThreadExecutor(max_workers)
-    return _THREAD_EXECUTORS.setdefault(executor.max_workers, executor)
+    # Normalize the count and look up the registry BEFORE constructing:
+    # building a throwaway ThreadExecutor per resolution would churn the
+    # at-fork WeakSet and a lock on every resolve.
+    workers = max_workers or os.cpu_count() or 1
+    executor = _THREAD_EXECUTORS.get(workers)
+    if executor is None:
+        executor = _THREAD_EXECUTORS.setdefault(workers, ThreadExecutor(workers))
+    return executor
+
+
+def _shared_process_executor(max_workers: int | None) -> ProcessExecutor:
+    workers = max_workers or os.cpu_count() or 1
+    executor = _PROCESS_EXECUTORS.get(workers)
+    if executor is None:
+        executor = _PROCESS_EXECUTORS.setdefault(
+            workers, ProcessExecutor(workers, persistent=True)
+        )
+    return executor
 
 
 def _worker_count(spec: str, arg: str) -> int:
@@ -256,9 +672,10 @@ def resolve_executor(spec: object | None) -> MapExecutor:
 
     Accepts ``None`` / ``"serial"`` (serial), ``"thread"`` /
     ``"thread:N"`` (the process-wide shared thread executor for that
-    worker count), ``"process"`` (one worker per CPU), ``"process:N"``
-    (N workers), or any object that already has a ``map`` method
-    (returned as-is).
+    worker count), ``"process"`` / ``"process:N"`` (the process-wide
+    shared *persistent* process executor for that worker count — its
+    pool outlives individual maps), or any object that already has a
+    ``map`` method (returned as-is).
     """
     if spec is None:
         return SerialExecutor()
@@ -269,7 +686,7 @@ def resolve_executor(spec: object | None) -> MapExecutor:
         if name == "thread":
             return _shared_thread_executor(_worker_count(spec, arg) if arg else None)
         if name == "process":
-            return ProcessExecutor(_worker_count(spec, arg) if arg else None)
+            return _shared_process_executor(_worker_count(spec, arg) if arg else None)
         raise ReproError(
             f"unknown executor spec {spec!r} (use 'serial', 'thread[:N]' or 'process[:N]')"
         )

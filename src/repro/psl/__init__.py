@@ -13,7 +13,13 @@ this package re-implements the needed core in pure Python + numpy:
 """
 
 from repro.psl.admm import AdmmResult, AdmmSettings, AdmmSolver, AdmmWarmState
-from repro.psl.partition import BlockArrays, TermPartition, build_partition
+from repro.psl.partition import (
+    BlockArrays,
+    SharedBlockArrays,
+    SharedPartitionBuffers,
+    TermPartition,
+    build_partition,
+)
 from repro.psl.database import Database
 from repro.psl.hlmrf import HardConstraint, HingeLossMRF, HingePotential
 from repro.psl.learning import RuleLearningResult, learn_rule_weights, rule_features
@@ -40,6 +46,8 @@ __all__ = [
     "AdmmResult",
     "AdmmSettings",
     "BlockArrays",
+    "SharedBlockArrays",
+    "SharedPartitionBuffers",
     "AdmmSolver",
     "AdmmWarmState",
     "Database",

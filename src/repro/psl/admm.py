@@ -32,9 +32,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.executors import MapExecutor, SerialExecutor, resolve_executor
+from repro.executors import (
+    MapExecutor,
+    ProcessExecutor,
+    SerialExecutor,
+    resolve_executor,
+)
 from repro.psl.hlmrf import HingeLossMRF
 from repro.psl.partition import (
+    SharedPartitionBuffers,
     TermPartition,
     apply_block_x_update,
     block_x_update,
@@ -47,13 +53,14 @@ class AdmmSettings:
     """Solver knobs; the defaults suit the paper's problem sizes.
 
     ``executor`` selects where the per-block local x-updates run —
-    ``None``/``"serial"`` (default), ``"thread[:N]"`` (the sensible
-    parallel choice: blocks share the consensus state in memory and the
-    numpy-heavy steps release the GIL), or ``"process[:N]"`` (honours
-    the same contract but pays a full pool spawn *and* re-ships the
-    block arrays on every iteration, since the local step maps once per
-    iteration — correct and equivalence-tested, but slower than serial
-    until pools persist across maps; see ROADMAP).  Use string specs when the settings
+    ``None``/``"serial"`` (default), ``"thread[:N]"`` (in-process
+    parallelism: blocks share the consensus state in memory and the
+    numpy-heavy steps release the GIL), or ``"process[:N]"``
+    (multi-core parallelism: a *persistent* worker pool reused across
+    the per-iteration maps, with the block CSR arrays placed once in
+    ``multiprocessing.shared_memory`` so each iteration ships only the
+    small ``v`` slices — equivalence-tested bit-identical to serial).
+    Use string specs when the settings
     object must stay picklable inside engine work units.  ``block_size``
     overrides the grounding-recorded partition with uniform runs of that
     many terms; ``None`` keeps the shard structure the MRF carries.
@@ -131,13 +138,23 @@ class AdmmSolver:
         return self._partition
 
     def _local_updates(
-        self, z: np.ndarray, u: np.ndarray, x_local: np.ndarray, rho: float
+        self,
+        z: np.ndarray,
+        u: np.ndarray,
+        x_local: np.ndarray,
+        rho: float,
+        shared: SharedPartitionBuffers | None = None,
     ) -> None:
         """Run every block's x-update, scattering into *x_local*.
 
         Blocks own disjoint slices of the copy range, so scattering the
         mapped results back is race-free and order-independent; the
-        executor only changes where the arithmetic runs.
+        executor only changes where the arithmetic runs.  With *shared*
+        (the calling solve's staging buffers, on a process-backed
+        executor) the mapped payloads carry
+        :class:`~repro.psl.partition.SharedBlockArrays` descriptors
+        instead of the block arrays themselves, so each iteration ships
+        only the ``v`` slices.
         """
         partition = self._partition
         if isinstance(self._executor, SerialExecutor) or partition.num_blocks <= 1:
@@ -145,13 +162,29 @@ class AdmmSolver:
                 sl = block.copy_slice
                 x_local[sl] = block_x_update(block, z[block.var] - u[sl], rho)
             return
+        payload_blocks = shared.blocks if shared is not None else partition.blocks
         payloads = [
-            (block, z[block.var] - u[block.copy_slice], rho)
-            for block in partition.blocks
+            (payload, z[block.var] - u[block.copy_slice], rho)
+            for payload, block in zip(payload_blocks, partition.blocks)
         ]
         results = self._executor.map(apply_block_x_update, payloads)
         for x_block, block in zip(results, partition.blocks):
             x_local[block.copy_slice] = x_block
+
+    def _wants_shared_blocks(self) -> bool:
+        """Should this solve stage the block arrays in shared memory?
+
+        Only a multi-worker process executor benefits: its per-iteration
+        maps would otherwise pickle every block's CSR arrays into the
+        pool on each of thousands of iterations.  Thread/serial
+        executors share memory natively, and a single-worker process
+        executor falls back to in-driver execution anyway.
+        """
+        return (
+            isinstance(self._executor, ProcessExecutor)
+            and self._executor.max_workers > 1
+            and self._partition.num_blocks > 1
+        )
 
     def solve(
         self,
@@ -193,33 +226,42 @@ class AdmmSolver:
         z_old = z
         checked_at = -1
 
-        for iteration in range(1, settings.max_iterations + 1):
-            # --- local updates: x_local = v - lambda[term] * a, per block -
-            self._local_updates(z, u, x_local, rho)
+        # Stage the (constant) block arrays in shared memory for
+        # process-mapped local updates; solve-local so concurrent solves
+        # cannot release each other's segment, and the finally unlinks
+        # it on every exit path, including a raising solve.
+        shared = SharedPartitionBuffers(partition) if self._wants_shared_blocks() else None
+        try:
+            for iteration in range(1, settings.max_iterations + 1):
+                # --- local updates: x_local = v - lambda[term] * a, per block
+                self._local_updates(z, u, x_local, rho, shared)
 
-            # --- consensus update: gather every block's copies ------------
-            np.add(x_local, u, out=scratch)
-            z_old = z
-            z = np.clip(
-                np.bincount(var, weights=scratch, minlength=n) / partition.degree,
-                0.0,
-                1.0,
-            )
-
-            # --- dual update ----------------------------------------------
-            u += x_local
-            u -= z[var]
-
-            if iteration % settings.check_every == 0:
-                checked_at = iteration
-                primal = float(np.linalg.norm(x_local - z[var]))
-                dual = float(rho * np.linalg.norm((z - z_old)[var]))
-                eps = settings.epsilon_abs * np.sqrt(copies) + settings.epsilon_rel * max(
-                    float(np.linalg.norm(x_local)), float(np.linalg.norm(z[var]))
+                # --- consensus update: gather every block's copies --------
+                np.add(x_local, u, out=scratch)
+                z_old = z
+                z = np.clip(
+                    np.bincount(var, weights=scratch, minlength=n) / partition.degree,
+                    0.0,
+                    1.0,
                 )
-                if primal < eps and dual < eps:
-                    converged = True
-                    break
+
+                # --- dual update ------------------------------------------
+                u += x_local
+                u -= z[var]
+
+                if iteration % settings.check_every == 0:
+                    checked_at = iteration
+                    primal = float(np.linalg.norm(x_local - z[var]))
+                    dual = float(rho * np.linalg.norm((z - z_old)[var]))
+                    eps = settings.epsilon_abs * np.sqrt(copies) + settings.epsilon_rel * max(
+                        float(np.linalg.norm(x_local)), float(np.linalg.norm(z[var]))
+                    )
+                    if primal < eps and dual < eps:
+                        converged = True
+                        break
+        finally:
+            if shared is not None:
+                shared.release()
 
         if iteration > 0 and checked_at != iteration:
             # The loop exited between convergence checks (or never reached

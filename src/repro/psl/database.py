@@ -24,6 +24,7 @@ class Database:
         # lets sharded and serial grounding fingerprint identically.
         self._targets: dict[GroundAtom, None] = {}
         self._atoms_by_predicate: dict[Predicate, set[GroundAtom]] = {}
+        self._version = 0
 
     # -- writing -----------------------------------------------------------
 
@@ -35,6 +36,7 @@ class Database:
             raise GroundingError(f"{atom} is already a target (random variable)")
         self._observations[atom] = truth
         self._atoms_by_predicate.setdefault(atom.predicate, set()).add(atom)
+        self._version += 1
 
     def add_target(self, atom: GroundAtom) -> None:
         """Register *atom* as a random variable for inference."""
@@ -46,6 +48,19 @@ class Database:
             raise GroundingError(f"{atom} is already observed")
         self._targets[atom] = None
         self._atoms_by_predicate.setdefault(atom.predicate, set()).add(atom)
+        self._version += 1
+
+    def state_token(self) -> object:
+        """A value that changes whenever this database's contents change.
+
+        The executor initializer-reuse hook (see
+        :meth:`repro.executors.ProcessExecutor.map`): a persistent pool
+        whose workers hold a pickled snapshot of this database may be
+        reused only while the token matches — an in-place
+        ``observe``/``add_target`` after a ground would otherwise leave
+        the workers grounding against a stale copy.
+        """
+        return self._version
 
     # -- reading -----------------------------------------------------------
 

@@ -24,11 +24,20 @@ The per-iteration contract, relied on by :class:`~repro.psl.admm.AdmmSolver`:
   and the consensus accumulation see the same values in the same order
   as the flat solver — the partitioned serial solve is numerically
   identical (same iterates, residuals, energy) for **any** block size.
+
+For process-backed executors, :class:`SharedPartitionBuffers` copies the
+blocks' arrays once into a ``multiprocessing.shared_memory`` segment and
+hands out :class:`SharedBlockArrays` stand-ins that pickle as a tiny
+attach-by-name descriptor — so a per-iteration process-mapped x-update
+ships only the small ``v`` slices, not the (constant) CSR arrays.  The
+driver owns the segment's unlink.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
+from multiprocessing import shared_memory
 
 import numpy as np
 
@@ -246,3 +255,276 @@ def build_partition(
         var=var,
         degree=degree,
     )
+
+
+# -- shared-memory block views -------------------------------------------------
+
+#: Field layout of one block inside a shared segment: term-indexed
+#: arrays first, then copy-indexed ones.  All dtypes are 8 bytes, so
+#: packing them back to back keeps every view aligned.
+_TERM_FIELDS: tuple[tuple[str, type], ...] = (
+    ("kind", np.int64),
+    ("offset", np.float64),
+    ("weight", np.float64),
+    ("normsq", np.float64),
+)
+_COPY_FIELDS: tuple[tuple[str, type], ...] = (
+    ("var", np.int64),
+    ("term", np.int64),
+    ("coeff", np.float64),
+)
+_ALL_FIELDS = _TERM_FIELDS + _COPY_FIELDS
+_FIELD_DTYPES = dict(_ALL_FIELDS)
+
+#: Most recent shared segments this process has attached to, by name —
+#: LRU: hits reinsert, eviction drops the least recently used.  One
+#: solve touches one segment many times (every block of every
+#: iteration), so caching the attachment makes re-attach free; the bound
+#: keeps a long-lived pool worker from accumulating mappings of segments
+#: long since unlinked by their drivers while staying above any
+#: realistic number of concurrently streaming solves.  Deliberate
+#: residual: with no further attach there is no hook left to run the
+#: sweep, so an idle persistent worker keeps the *last* solve's
+#: segment(s) mapped until the next process-backed solve, a pool
+#: recycle, or worker exit — the same bounded warm-state trade-off as
+#: the grounding database snapshot the pool initializer installs.
+_ATTACHED_SEGMENTS: dict[str, shared_memory.SharedMemory] = {}
+_ATTACH_CACHE_SIZE = 16
+
+
+def _sweep_dead_segments() -> None:
+    """Drop cached attachments whose segment the driver already unlinked.
+
+    A mapping keeps the physical memory alive even after unlink, so
+    without the sweep a worker would pin up to the cache bound's worth
+    of finished solves' segments.  Linux-only liveness check (names live
+    under ``/dev/shm``); elsewhere the LRU bound is the only limit.
+    """
+    for name in list(_ATTACHED_SEGMENTS):
+        if not os.path.exists(f"/dev/shm/{name}"):
+            stale = _ATTACHED_SEGMENTS.pop(name)
+            try:
+                stale.close()
+            except BufferError:
+                pass
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    segment = _ATTACHED_SEGMENTS.pop(name, None)
+    if segment is not None:
+        _ATTACHED_SEGMENTS[name] = segment  # refresh recency
+        return segment
+    if os.path.isdir("/dev/shm"):
+        # Cache miss = a new solve's segment arriving: a cheap moment to
+        # release mappings of segments whose solves have finished.
+        _sweep_dead_segments()
+    try:
+        # Only the creating driver owns the unlink; 3.13+ can say so.
+        segment = shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        # Older Pythons register every attachment with the resource
+        # tracker, which (a) forks a whole tracker process inside each
+        # pool worker on first attach and (b) *unlinks* the registered
+        # segment when the worker exits — destroying the driver-owned
+        # segment out from under everyone else.  Attach with
+        # registration suppressed instead; the driver's own handle stays
+        # tracked and its release() does the one real unlink.
+        from multiprocessing import resource_tracker
+
+        original_register = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            segment = shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original_register
+    while len(_ATTACHED_SEGMENTS) >= _ATTACH_CACHE_SIZE:
+        stale = _ATTACHED_SEGMENTS.pop(next(iter(_ATTACHED_SEGMENTS)))
+        try:
+            stale.close()
+        except BufferError:
+            pass  # a live view still references it; dropped when it dies
+    _ATTACHED_SEGMENTS[name] = segment
+    return segment
+
+
+class SharedBlockArrays:
+    """A :class:`BlockArrays` stand-in whose arrays live in shared memory.
+
+    Duck-types everything :func:`block_x_update` (and the solver's
+    scatter-gather) reads — ``kind``/``offset``/``weight``/``normsq``
+    per term, ``var``/``term``/``coeff`` per copy, plus the extent
+    properties — as zero-copy numpy views into a
+    ``multiprocessing.shared_memory`` segment.  Pickles as the segment
+    name plus a byte-offset layout (a few hundred bytes, independent of
+    block size); unpickling attaches the segment by name and rebuilds
+    the views lazily, so shipping one of these to a pool worker costs
+    O(1) IPC no matter how large the block is.
+
+    The segment is owned by the driver's :class:`SharedPartitionBuffers`
+    — views must not be used after the driver releases it.
+    """
+
+    def __init__(
+        self,
+        shm_name: str,
+        term_lo: int,
+        copy_lo: int,
+        layout: dict[str, tuple[int, int]],
+        buf: memoryview | None = None,
+    ):
+        self.shm_name = shm_name
+        self.term_lo = term_lo
+        self.copy_lo = copy_lo
+        self._layout = layout  # field -> (byte offset, length)
+        self._views: dict[str, np.ndarray] | None = None
+        if buf is not None:
+            self._build_views(buf)
+
+    def _build_views(self, buf: memoryview) -> None:
+        self._views = {
+            field: np.ndarray(
+                (length,), dtype=_FIELD_DTYPES[field], buffer=buf, offset=offset
+            )
+            for field, (offset, length) in self._layout.items()
+        }
+
+    def _view(self, field: str) -> np.ndarray:
+        if self._views is None:
+            self._build_views(_attach_segment(self.shm_name).buf)
+        return self._views[field]
+
+    def _drop_views(self) -> None:
+        self._views = None
+
+    kind = property(lambda self: self._view("kind"))
+    offset = property(lambda self: self._view("offset"))
+    weight = property(lambda self: self._view("weight"))
+    normsq = property(lambda self: self._view("normsq"))
+    var = property(lambda self: self._view("var"))
+    term = property(lambda self: self._view("term"))
+    coeff = property(lambda self: self._view("coeff"))
+
+    @property
+    def num_terms(self) -> int:
+        return self._layout["kind"][1]
+
+    @property
+    def num_copies(self) -> int:
+        return self._layout["var"][1]
+
+    @property
+    def copy_slice(self) -> slice:
+        return slice(self.copy_lo, self.copy_lo + self.num_copies)
+
+    def __getstate__(self) -> dict:
+        return {
+            "shm_name": self.shm_name,
+            "term_lo": self.term_lo,
+            "copy_lo": self.copy_lo,
+            "layout": self._layout,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(
+            state["shm_name"], state["term_lo"], state["copy_lo"], state["layout"]
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SharedBlockArrays(shm={self.shm_name!r}, term_lo={self.term_lo}, "
+            f"terms={self.num_terms}, copies={self.num_copies})"
+        )
+
+
+class SharedPartitionBuffers:
+    """Driver-owned shared-memory copies of a partition's block arrays.
+
+    Construction copies every block's arrays once into a single fresh
+    ``multiprocessing.shared_memory`` segment and exposes them as
+    :attr:`blocks` — :class:`SharedBlockArrays` parallel to
+    ``partition.blocks``.  The driver that built the buffers owns the
+    segment: :meth:`release` (idempotent; also run by ``__del__`` and on
+    context-manager exit) closes the mapping and **unlinks** the
+    segment, after which attach-by-name fails and worker mappings die
+    with their processes.  Callers must release on every exit path — the
+    ADMM solver does so in a ``finally`` so a raising solve cannot leak
+    the segment.
+    """
+
+    def __init__(self, partition: TermPartition):
+        layouts: list[dict[str, tuple[int, int]]] = []
+        total = 0
+        for block in partition.blocks:
+            layout: dict[str, tuple[int, int]] = {}
+            for field, dtype in _TERM_FIELDS:
+                layout[field] = (total, block.num_terms)
+                total += block.num_terms * np.dtype(dtype).itemsize
+            for field, dtype in _COPY_FIELDS:
+                layout[field] = (total, block.num_copies)
+                total += block.num_copies * np.dtype(dtype).itemsize
+            layouts.append(layout)
+        self._segment: shared_memory.SharedMemory | None = shared_memory.SharedMemory(
+            create=True, size=max(total, 1)
+        )
+        self.blocks: tuple[SharedBlockArrays, ...] = ()
+        try:
+            blocks = []
+            for block, layout in zip(partition.blocks, layouts):
+                shared = SharedBlockArrays(
+                    self._segment.name,
+                    block.term_lo,
+                    block.copy_lo,
+                    layout,
+                    buf=self._segment.buf,
+                )
+                for field, _ in _ALL_FIELDS:
+                    np.copyto(
+                        shared._view(field), getattr(block, field), casting="same_kind"
+                    )
+                # Drop the driver-side views right away: the driver reads
+                # through the regular partition, and live exports would make
+                # the mapping impossible to close on release.
+                shared._drop_views()
+                blocks.append(shared)
+            self.blocks = tuple(blocks)
+        except BaseException:
+            # A failed copy must not strand the created segment — no
+            # caller holds a handle to release yet.
+            self.release()
+            raise
+
+    @property
+    def name(self) -> str | None:
+        return self._segment.name if self._segment is not None else None
+
+    @property
+    def released(self) -> bool:
+        return self._segment is None
+
+    def release(self) -> None:
+        """Close and unlink the segment (idempotent, driver-owned)."""
+        segment, self._segment = self._segment, None
+        if segment is None:
+            return
+        for block in self.blocks:
+            block._drop_views()
+        try:
+            segment.close()
+        except BufferError:
+            pass  # an outstanding view pins the mapping; unlink regardless
+        try:
+            segment.unlink()
+        except FileNotFoundError:
+            pass
+
+    def __enter__(self) -> "SharedPartitionBuffers":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def __del__(self) -> None:
+        try:
+            self.release()
+        except Exception:
+            pass

@@ -111,6 +111,14 @@ def shared_database(database: Database) -> "Iterator[None]":
         _SHARED.database = previous
 
 
+#: Scope hook consumed by :meth:`repro.executors.ProcessExecutor.map`'s
+#: serial fallback: instead of calling the initializer bare — which
+#: would permanently install the grounding database into the *driver's*
+#: shared slot — the fallback enters ``initializer.scope(*initargs)``
+#: around the map, restoring the previous handle once it completes.
+install_shared_database.scope = shared_database
+
+
 @dataclass(frozen=True)
 class RuleGroundingShard:
     """One rule's groundings as a sharded work unit.
@@ -346,8 +354,12 @@ class PslProgram:
         if not strip_database:
             return ground_shards(shards, executor=executor, mrf=mrf)
         # The scope covers the executor's serial fallback, which runs
-        # stripped shards in this process; workers get the handle through
-        # the pool initializer and die with the pool.
+        # stripped shards in this process.  Workers get the handle through
+        # the pool initializer; on a persistent executor they (and their
+        # database snapshot) outlive this ground so the next ground of
+        # the same unchanged program reuses warm workers — the snapshot
+        # is replaced when a ground ships a different or mutated
+        # database (state_token), and freed by executor.close().
         with shared_database(self.database):
             return ground_shards(
                 shards,

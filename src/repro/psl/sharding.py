@@ -39,6 +39,7 @@ from repro.executors import (
     MapExecutor,
     ProcessExecutor,
     ThreadExecutor,
+    initializer_scope,
     resolve_executor,
 )
 from repro.psl.hlmrf import (
@@ -249,42 +250,49 @@ def ground_shards(
     the hook producers use to ship a shared payload (e.g. a grounding
     database) once per worker instead of once per shard.  On a
     :class:`~repro.executors.ProcessExecutor` it becomes the pool
-    initializer; on executors that run shards on the *calling thread*
-    (serial and serial-like) it simply runs here first.  It is rejected
-    for :class:`~repro.executors.ThreadExecutor`, whose pool threads
-    would not see a thread-scoped payload installed here — embed the
-    data in the shards instead (in-process, that costs nothing).
+    initializer (on a persistent executor the warm pool is reused when a
+    later ground brings the *same* payload, and recycled — workers
+    re-initialized — when it brings a different one); on executors that
+    run shards on the *calling thread* (serial and serial-like) it runs
+    here, scoped through the initializer's ``scope`` hook when it has
+    one so the payload cannot outlive the merge.  It is rejected for
+    :class:`~repro.executors.ThreadExecutor`, whose pool threads would
+    not see a thread-scoped payload installed here — embed the data in
+    the shards instead (in-process, that costs nothing).
     """
     executor = resolve_executor(executor)
     mrf = mrf if mrf is not None else HingeLossMRF()
     stats = GroundingStats()
     ordered = list(shards)
-    if initializer is not None and isinstance(executor, ProcessExecutor):
-        init_fn, init_args = initializer
-        results = executor.map(
-            ground_shard, ordered, initializer=init_fn, initargs=init_args
-        )
-    else:
-        if initializer is not None:
-            if isinstance(executor, ThreadExecutor):
+
+    def merge(results) -> tuple[HingeLossMRF, GroundingStats]:
+        for position, result in enumerate(results):
+            if result.order != position:
                 raise InferenceError(
-                    "ground_shards initializer is not supported on a thread "
-                    "executor (pool threads would not see a thread-scoped "
-                    "payload); embed the data in the shards instead"
+                    f"shard results arrived out of order: expected {position}, "
+                    f"got {result.order}"
                 )
-            init_fn, init_args = initializer
-            init_fn(*init_args)
-        results = executor.map(ground_shard, ordered)
-    for position, result in enumerate(results):
-        if result.order != position:
-            raise InferenceError(
-                f"shard results arrived out of order: expected {position}, "
-                f"got {result.order}"
-            )
-        before = (len(mrf.potentials), len(mrf.constraints))
-        mrf.add_term_block(result.atoms, result.block)
-        stats.observe(result, mrf, before)
-    return mrf, stats
+            before = (len(mrf.potentials), len(mrf.constraints))
+            mrf.add_term_block(result.atoms, result.block)
+            stats.observe(result, mrf, before)
+        return mrf, stats
+
+    if initializer is None:
+        return merge(executor.map(ground_shard, ordered))
+    if isinstance(executor, ProcessExecutor):
+        init_fn, init_args = initializer
+        return merge(
+            executor.map(ground_shard, ordered, initializer=init_fn, initargs=init_args)
+        )
+    if isinstance(executor, ThreadExecutor):
+        raise InferenceError(
+            "ground_shards initializer is not supported on a thread "
+            "executor (pool threads would not see a thread-scoped "
+            "payload); embed the data in the shards instead"
+        )
+    init_fn, init_args = initializer
+    with initializer_scope(init_fn, init_args):
+        return merge(executor.map(ground_shard, ordered))
 
 
 def iter_slices(count: int, shard_size: int | None) -> Iterable[tuple[int, int]]:

@@ -6,11 +6,21 @@ term order without ever splitting a term, and the per-block arrays
 concatenate back to exactly the flat solver arrays.
 """
 
+import os
+import pickle
+from multiprocessing import shared_memory
+
 import numpy as np
 import pytest
 
 from repro.psl.hlmrf import HingeLossMRF
-from repro.psl.partition import block_x_update, build_partition
+from repro.psl.partition import (
+    SharedBlockArrays,
+    SharedPartitionBuffers,
+    _attach_segment,
+    block_x_update,
+    build_partition,
+)
 from repro.psl.predicate import Predicate
 from repro.psl.sharding import TermBlockBuilder
 from repro.selection.collective import CollectiveSettings, ground_collective
@@ -140,6 +150,78 @@ def test_collective_grounding_blocks_survive_into_partition():
     # No block exceeds what one grounding shard emitted.
     assert partition.max_block_terms <= stats.peak_shard_terms
     assert sum(b.num_terms for b in partition.blocks) == partition.num_terms
+
+
+_BLOCK_FIELDS = ("kind", "offset", "weight", "normsq", "var", "term", "coeff")
+
+
+def test_shared_blocks_mirror_partition_arrays_exactly():
+    partition = build_partition(_block_built_mrf(), block_size=5)
+    with SharedPartitionBuffers(partition) as shared:
+        assert len(shared.blocks) == partition.num_blocks
+        for block, mirror in zip(partition.blocks, shared.blocks):
+            assert isinstance(mirror, SharedBlockArrays)
+            assert mirror.term_lo == block.term_lo
+            assert mirror.copy_lo == block.copy_lo
+            assert mirror.copy_slice == block.copy_slice
+            assert mirror.num_terms == block.num_terms
+            assert mirror.num_copies == block.num_copies
+            for field in _BLOCK_FIELDS:
+                original = getattr(block, field)
+                view = getattr(mirror, field)
+                assert view.dtype == original.dtype
+                assert np.array_equal(view, original)
+
+
+def test_shared_blocks_pickle_as_small_attach_by_name_descriptors():
+    mrf = _block_built_mrf(num_blocks=2, terms_per_block=600)
+    partition = build_partition(mrf)
+    rng = np.random.default_rng(11)
+    with SharedPartitionBuffers(partition) as shared:
+        for block, mirror in zip(partition.blocks, shared.blocks):
+            payload = pickle.dumps(mirror)
+            # The whole point of the shared segment: the per-iteration
+            # payload no longer scales with the block.
+            assert len(payload) < len(pickle.dumps(block)) / 4
+            clone = pickle.loads(payload)
+            assert clone.shm_name == shared.name
+            for field in _BLOCK_FIELDS:
+                assert np.array_equal(getattr(clone, field), getattr(block, field))
+            v = rng.normal(size=block.num_copies)
+            # ...and the local step over the attached views is the exact
+            # same arithmetic: bit-identical results.
+            assert np.array_equal(
+                block_x_update(clone, v, rho=1.0), block_x_update(block, v, rho=1.0)
+            )
+
+
+@pytest.mark.skipif(not os.path.isdir("/dev/shm"), reason="needs /dev/shm")
+def test_attach_cache_drops_unlinked_segments():
+    import repro.psl.partition as partition_module
+
+    partition = build_partition(_block_built_mrf())
+    first = SharedPartitionBuffers(partition)
+    name = first.name
+    _attach_segment(name)
+    first.release()  # driver unlinks; the cached mapping must not pin it
+    second = SharedPartitionBuffers(partition)
+    _attach_segment(second.name)  # cache miss -> sweep of dead segments
+    assert name not in partition_module._ATTACHED_SEGMENTS
+    second.release()
+
+
+def test_shared_partition_buffers_unlink_lifecycle():
+    partition = build_partition(_block_built_mrf())
+    shared = SharedPartitionBuffers(partition)
+    name = shared.name
+    assert name is not None and not shared.released
+    # Attachable by name while the driver keeps it alive.
+    assert _attach_segment(name).size >= 8
+    shared.release()
+    assert shared.released and shared.name is None
+    with pytest.raises(FileNotFoundError):
+        shared_memory.SharedMemory(name=name)  # driver-owned unlink happened
+    shared.release()  # idempotent
 
 
 def test_block_x_update_matches_whole_problem_update():

@@ -9,14 +9,17 @@ problems and on random MRFs alike.  Not approximately: bit for bit.
 """
 
 import functools
+from multiprocessing import shared_memory
 
 import numpy as np
 import pytest
 
+from repro.executors import ProcessExecutor
 from repro.ibench.config import ScenarioConfig
 from repro.ibench.generator import generate_scenario
 from repro.psl.admm import AdmmResult, AdmmSettings, AdmmSolver, AdmmWarmState
 from repro.psl.hlmrf import HingeLossMRF
+from repro.psl.partition import SharedBlockArrays
 from repro.psl.predicate import Predicate
 from repro.psl.sharding import mrf_fingerprint
 from repro.selection.collective import (
@@ -243,19 +246,81 @@ def test_partitioned_matches_flat_reference_on_collective_problem(
         assert AdmmSolver(mrf, settings).partition.num_blocks > 1
 
 
-def test_process_executor_blocks_match_reference():
-    # Per-iteration process dispatch is expensive, so keep it short: a
-    # truncated run must still be bit-identical.
+@pytest.mark.parametrize("block_size", [32, None])
+def test_process_executor_blocks_match_reference(block_size):
+    # The process path now rides the shared persistent pool plus
+    # shared-memory block arrays; a truncated run must still be
+    # bit-identical, for the grounding partition and a re-chunking alike.
     mrf = _collective_mrf()
     settings = AdmmSettings(max_iterations=4, check_every=2)
     reference = _ReferenceFlatSolver(mrf, settings).solve()
     result = AdmmSolver(
         mrf,
         AdmmSettings(
-            max_iterations=4, check_every=2, block_size=32, executor="process:2"
+            max_iterations=4,
+            check_every=2,
+            block_size=block_size,
+            executor="process:2",
         ),
     ).solve()
     _assert_identical_run(result, reference)
+
+
+class _RecordingProcessExecutor(ProcessExecutor):
+    """Persistent process executor that records the mapped payloads."""
+
+    def __init__(self, explode: bool = False):
+        super().__init__(2, persistent=True)
+        self.explode = explode
+        self.shared_names: set[str] = set()
+        self.payload_types: set[type] = set()
+
+    def map(self, fn, items, **kwargs):
+        for payload in items:
+            block = payload[0]
+            self.payload_types.add(type(block))
+            if isinstance(block, SharedBlockArrays):
+                self.shared_names.add(block.shm_name)
+        if self.explode:
+            raise RuntimeError("boom")
+        return super().map(fn, items, **kwargs)
+
+
+def _assert_unlinked(names):
+    assert names
+    for name in names:
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+
+def test_process_solve_ships_shared_blocks_and_unlinks_after():
+    mrf = _collective_mrf()
+    executor = _RecordingProcessExecutor()
+    try:
+        settings = AdmmSettings(
+            max_iterations=3, check_every=3, block_size=64, executor=executor
+        )
+        reference = _ReferenceFlatSolver(
+            mrf, AdmmSettings(max_iterations=3, check_every=3)
+        ).solve()
+        _assert_identical_run(AdmmSolver(mrf, settings).solve(), reference)
+        # Every per-iteration payload was an attach-by-name descriptor...
+        assert executor.payload_types == {SharedBlockArrays}
+        # ...and the driver-owned segment is unlinked once the solve ends.
+        _assert_unlinked(executor.shared_names)
+    finally:
+        executor.close()
+
+
+def test_shared_segment_released_when_solve_raises():
+    mrf = _collective_mrf()
+    executor = _RecordingProcessExecutor(explode=True)
+    solver = AdmmSolver(
+        mrf, AdmmSettings(max_iterations=3, block_size=64, executor=executor)
+    )
+    with pytest.raises(RuntimeError):
+        solver.solve()
+    _assert_unlinked(executor.shared_names)  # leak-free error teardown
 
 
 def test_warm_state_with_warm_start_interactions_match_reference():
