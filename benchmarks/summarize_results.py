@@ -1,0 +1,201 @@
+"""Aggregate the CI benchmark JSON artifacts into one markdown table.
+
+Every performance-bearing benchmark in this repo records a
+machine-readable twin of its stdout table under ``benchmarks/results/``
+(:func:`benchmarks._common.record_json`).  CI uploads that directory as
+an artifact per run; this script folds whichever of the known artifacts
+are present into a single EXPERIMENTS-style speedup table
+(``results/SUMMARY.md``), so the recorded multi-core numbers read as one
+document instead of five JSON blobs — the "pull the recorded speedup
+numbers into EXPERIMENTS-style results" item of the ROADMAP.
+
+Usage::
+
+    python benchmarks/summarize_results.py \
+        [--results-dir benchmarks/results] [--output SUMMARY.md]
+
+Missing artifacts are skipped (each CI job only runs some benches);
+malformed ones are reported and skipped.  Exit code 0 unless *no* known
+artifact could be read.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def _fmt_seconds(value: float) -> str:
+    if value >= 0.1:
+        return f"{value:.2f} s"
+    if value >= 1e-4:
+        return f"{value * 1e3:.2f} ms"
+    return f"{value * 1e6:.1f} µs"
+
+
+def _fmt_speedup(value: float) -> str:
+    return f"{value:.1f}×"
+
+
+def _rows_sharded_grounding(data: dict) -> list[list[str]]:
+    return [
+        [
+            "sharded grounding",
+            f"serial shards vs process pool ({data.get('num_shards', '?')} shards, "
+            f"{data.get('total_terms', '?')} terms)",
+            _fmt_seconds(data["sharded_serial_seconds"]),
+            _fmt_seconds(data["sharded_process_seconds"]),
+            _fmt_speedup(data["process_speedup_vs_sharded_serial"]),
+        ]
+    ]
+
+
+def _rows_parallel_engine(data: dict) -> list[list[str]]:
+    return [
+        [
+            "parallel problem build",
+            f"serial vs {data.get('workers', '?')} process workers",
+            _fmt_seconds(data["serial_seconds"]),
+            _fmt_seconds(data["parallel_seconds"]),
+            _fmt_speedup(data["speedup"]),
+        ]
+    ]
+
+
+def _rows_partitioned_admm(data: dict) -> list[list[str]]:
+    return [
+        [
+            "partitioned ADMM",
+            f"flat vs thread-mapped blocks ({data.get('num_blocks', '?')} blocks, "
+            f"{data.get('num_terms', '?')} terms, per iteration)",
+            _fmt_seconds(data["flat_sec_per_iter"]),
+            _fmt_seconds(data["threaded_sec_per_iter"]),
+            _fmt_speedup(data["thread_speedup_vs_flat"]),
+        ]
+    ]
+
+
+def _rows_persistent_pool(data: dict) -> list[list[str]]:
+    return [
+        [
+            "persistent pool + shared memory",
+            f"fresh pool/full payloads vs warm pool/descriptors "
+            f"({data.get('workers', '?')} workers, per map)",
+            _fmt_seconds(data["legacy_fresh_sec_per_map"]),
+            _fmt_seconds(data["shared_sec_per_map"]),
+            _fmt_speedup(data["dispatch_overhead_drop"]),
+        ]
+    ]
+
+
+def _rows_reweight(data: dict) -> list[list[str]]:
+    return [
+        [
+            "ground once, reweight many (sweep)",
+            f"re-ground+solve vs reweight+warm re-solve "
+            f"({data.get('num_potentials', '?')} potentials, per weight update)",
+            _fmt_seconds(data["fresh_sec_per_update"]),
+            _fmt_seconds(data["reweight_sec_per_update"]),
+            _fmt_speedup(data["speedup_per_update"]),
+        ],
+        [
+            "ground once, reweight many (learning)",
+            f"re-ground per epoch vs one grounding per call "
+            f"({data.get('learning_epochs', '?')} epochs)",
+            _fmt_seconds(data["learning_legacy_sec_per_epoch"]),
+            _fmt_seconds(data["learning_sec_per_epoch"]),
+            _fmt_speedup(data["learning_speedup"]),
+        ],
+    ]
+
+
+#: filename -> row extractor.  Order fixes the table's row order.
+KNOWN_ARTIFACTS = {
+    "sharded_grounding.json": _rows_sharded_grounding,
+    "parallel_engine_build.json": _rows_parallel_engine,
+    "partitioned_admm.json": _rows_partitioned_admm,
+    "persistent_pool.json": _rows_persistent_pool,
+    "reweight.json": _rows_reweight,
+}
+
+_HEADER = ["benchmark", "comparison", "baseline", "optimized", "speedup"]
+
+
+def _render_markdown(rows: list[list[str]], host_cpus: set[int]) -> str:
+    widths = [
+        max(len(_HEADER[i]), *(len(r[i]) for r in rows)) for i in range(len(_HEADER))
+    ]
+
+    def line(cells):
+        return "| " + " | ".join(c.ljust(w) for c, w in zip(cells, widths)) + " |"
+
+    cpus = ", ".join(str(c) for c in sorted(host_cpus)) or "unknown"
+    out = [
+        "# Benchmark speedup summary",
+        "",
+        f"Aggregated from `benchmarks/results/*.json` (host CPUs: {cpus}).",
+        "Timing numbers are machine-dependent; the equivalence guarantees",
+        "(fingerprint-identical grounding, bit-identical solves) are asserted",
+        "unconditionally by the benchmarks themselves.",
+        "",
+        line(_HEADER),
+        line(["-" * w for w in widths]),
+        *[line(r) for r in rows],
+        "",
+    ]
+    return "\n".join(out)
+
+
+def summarize(results_dir: Path) -> tuple[str, int]:
+    """Render the summary markdown; returns (text, artifacts found)."""
+    rows: list[list[str]] = []
+    host_cpus: set[int] = set()
+    found = 0
+    for name, extractor in KNOWN_ARTIFACTS.items():
+        path = results_dir / name
+        if not path.exists():
+            continue
+        try:
+            data = json.loads(path.read_text())
+            rows.extend(extractor(data))
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            print(f"[summarize] skipping {path}: {exc}", file=sys.stderr)
+            continue
+        found += 1
+        if isinstance(data.get("host_cpus"), int):
+            host_cpus.add(data["host_cpus"])
+    if not rows:
+        return "", found
+    return _render_markdown(rows, host_cpus), found
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--results-dir",
+        default=str(Path(__file__).parent / "results"),
+        help="directory holding the benchmark *.json artifacts",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="where to write the markdown (default: <results-dir>/SUMMARY.md)",
+    )
+    args = parser.parse_args(argv)
+    results_dir = Path(args.results_dir)
+    text, found = summarize(results_dir)
+    if not text:
+        print(f"[summarize] no known benchmark artifacts in {results_dir}", file=sys.stderr)
+        return 1
+    output = Path(args.output) if args.output else results_dir / "SUMMARY.md"
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(text)
+    print(text)
+    print(f"[summarize] {found} artifact(s) -> {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

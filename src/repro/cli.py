@@ -5,6 +5,9 @@ Commands:
 * ``generate`` — create an iBench-style scenario and write it as JSON;
 * ``select``   — load a scenario JSON, run a selection method, report quality;
 * ``sweep``    — quality-vs-noise sweep printed as a table;
+* ``weight-sweep`` — objective-weight sweep on a fixed scenario (the
+  ground-once/reweight-many path: one grounding per lane, every further
+  cell reweights and re-solves);
 * ``demo``     — the paper's running example with its appendix objective table.
 """
 
@@ -139,6 +142,39 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also print the per-cell timing breakdown",
     )
 
+    weight_sweep = sub.add_parser(
+        "weight-sweep",
+        help="objective-weight sweep on a fixed scenario (reweight + re-solve, "
+        "one grounding per lane)",
+    )
+    weight_sweep.add_argument("--primitives", type=int, default=4)
+    weight_sweep.add_argument("--rows", type=int, default=12)
+    weight_sweep.add_argument("--pi-corresp", type=float, default=25.0)
+    weight_sweep.add_argument("--pi-errors", type=float, default=25.0)
+    weight_sweep.add_argument("--seeds", type=int, nargs="+", default=[1, 2])
+    weight_sweep.add_argument(
+        "--grid",
+        nargs="+",
+        default=["1,1,1", "2,1,1", "1,2,1", "1,1,2"],
+        help="weight settings as explains,errors,size triples "
+        "(fractions or decimals, e.g. 1,1/2,0.25)",
+    )
+    weight_sweep.add_argument(
+        "--executor",
+        default="serial",
+        help="where grid cells run: serial, thread[:N] or process[:N]",
+    )
+    weight_sweep.add_argument(
+        "--no-warm-start",
+        action="store_true",
+        help="solve every cell cold instead of chaining ADMM warm starts",
+    )
+    weight_sweep.add_argument(
+        "--timing",
+        action="store_true",
+        help="also print the per-cell timing breakdown",
+    )
+
     sub.add_parser("demo", help="the paper's running example")
     return parser
 
@@ -252,6 +288,72 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_weight_triple(spec: str):
+    from fractions import Fraction
+
+    from repro.selection.objective import ObjectiveWeights
+
+    parts = spec.split(",")
+    if len(parts) != 3:
+        raise SystemExit(
+            f"bad weight setting {spec!r}: expected explains,errors,size"
+        )
+    try:
+        explains, errors, size = (Fraction(p.strip()) for p in parts)
+    except (ValueError, ZeroDivisionError) as exc:
+        raise SystemExit(f"bad weight setting {spec!r}: {exc}") from exc
+    return ObjectiveWeights(explains=explains, errors=errors, size=size)
+
+
+def _cmd_weight_sweep(args: argparse.Namespace) -> int:
+    weight_grid = [_parse_weight_triple(spec) for spec in args.grid]
+    base = ScenarioConfig(
+        num_primitives=args.primitives,
+        rows_per_relation=args.rows,
+        pi_corresp=args.pi_corresp,
+        pi_errors=args.pi_errors,
+    )
+    engine = EvaluationEngine(
+        methods=DEFAULT_GRID_METHODS,
+        executor=args.executor,
+        warm_start=not args.no_warm_start,
+    )
+    sweep = engine.weight_sweep(base, weight_grid, args.seeds)
+    columns = [*DEFAULT_GRID_METHODS, "gold"]
+    print(
+        format_table(
+            ["explains/errors/size", *columns],
+            sweep.mean_f1_rows(columns),
+            title="mean data F1 per objective-weight setting",
+        )
+    )
+    if args.timing:
+        print()
+        rows = []
+        for weights, cells in sweep.cells_by_weight():
+            from repro.evaluation.engine import weights_label
+
+            for c in cells:
+                rows.append(
+                    [
+                        weights_label(weights),
+                        c.config.seed,
+                        c.method,
+                        c.timing.generate_seconds,
+                        c.timing.problem_seconds,
+                        c.timing.solve_seconds,
+                    ]
+                )
+        print(
+            format_table(
+                ["weights", "seed", "method", "gen s", "build s", "solve s"],
+                rows,
+                title=f"cell timing (total {sweep.grid.total_seconds:.2f}s)",
+            )
+        )
+    return 0
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     from repro.examples_data import paper_example
     from repro.selection.collective import solve_collective
@@ -280,6 +382,7 @@ _COMMANDS = {
     "generate": _cmd_generate,
     "select": _cmd_select,
     "sweep": _cmd_sweep,
+    "weight-sweep": _cmd_weight_sweep,
     "demo": _cmd_demo,
 }
 

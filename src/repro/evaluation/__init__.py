@@ -9,6 +9,7 @@ from repro.evaluation.engine import (
     GridResult,
     ScenarioCache,
     SweepResult,
+    WeightSweepResult,
     run_scenario,
 )
 from repro.evaluation.harness import DEFAULT_METHODS, MethodRun, exact_method, run_methods
@@ -32,6 +33,7 @@ __all__ = [
     "PrecisionRecall",
     "ScenarioCache",
     "SweepResult",
+    "WeightSweepResult",
     "data_quality",
     "exact_method",
     "format_table",

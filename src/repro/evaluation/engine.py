@@ -63,6 +63,7 @@ from repro.selection.collective import (
 from repro.selection.exact import SelectionResult, solve_branch_and_bound
 from repro.selection.greedy import solve_greedy
 from repro.selection.metrics import SelectionProblem, build_selection_problem
+from repro.selection.objective import ObjectiveWeights
 
 Solver = Callable[[SelectionProblem], SelectionResult]
 
@@ -508,14 +509,15 @@ class EvaluationEngine:
             )
             for config in configs
         ]
+        return GridResult(self._execute_jobs(jobs))
+
+    def _execute_jobs(self, jobs: Sequence[ConfigCells]) -> list[GridCell]:
         if isinstance(self.executor, SerialExecutor):
-            cells = self._run_serial(jobs)
-        elif self.warm_start and "collective" in self.methods:
-            cells = self._run_waves(jobs)
-        else:
-            nested = self.executor.map(_run_work_unit, jobs)
-            cells = [cell for group in nested for cell in group]
-        return GridResult(cells)
+            return self._run_serial(jobs)
+        if self.warm_start and "collective" in self.methods:
+            return self._run_waves(jobs)
+        nested = self.executor.map(_run_work_unit, jobs)
+        return [cell for group in nested for cell in group]
 
     def _run_waves(self, jobs: Sequence[ConfigCells]) -> list[GridCell]:
         # Parallel grids with warm starts: cells of one lane (seed) must
@@ -549,17 +551,25 @@ class EvaluationEngine:
     def _run_serial(self, jobs: Sequence[ConfigCells]) -> list[GridCell]:
         # One warm-start lane per (method, seed): successive levels of a
         # sweep re-solve a near-identical relaxation, so the previous
-        # fractional optimum is an excellent ADMM starting point.
-        lanes: dict[tuple[str, int], WarmStartedCollective] = {}
+        # fractional optimum is an excellent ADMM starting point.  Lanes
+        # chain CollectiveWarmPayload batons (like the wave path) rather
+        # than one long-lived solver instance, so per-job settings — a
+        # weight sweep gives every cell its own weights — are honoured
+        # cell by cell.
+        lanes: dict[tuple[str, int], CollectiveWarmPayload | None] = {}
         cells: list[GridCell] = []
         for job in jobs:
             solvers: dict[str, Solver] = {}
+            lane_solver: WarmStartedCollective | None = None
+            key = ("collective", job.config.seed)
             if self.warm_start and "collective" in job.methods:
-                key = ("collective", job.config.seed)
-                solvers["collective"] = lanes.setdefault(
-                    key, WarmStartedCollective(self.collective_settings)
+                lane_solver = WarmStartedCollective(
+                    job.collective_settings, payload=lanes.get(key)
                 )
+                solvers["collective"] = lane_solver
             cells.extend(evaluate_config_cells(job, cache=self.cache, solvers=solvers))
+            if lane_solver is not None:
+                lanes[key] = lane_solver.payload
         return cells
 
     def sweep(
@@ -585,6 +595,51 @@ class EvaluationEngine:
             grid=result,
         )
 
+    def weight_sweep(
+        self,
+        base: ScenarioConfig,
+        weight_grid: Sequence["ObjectiveWeights"],
+        seeds: Sequence[int],
+    ) -> "WeightSweepResult":
+        """Sweep the objective weights on a *fixed* scenario structure.
+
+        Every cell of one seed's lane re-solves the **same** selection
+        problem under different :class:`~repro.selection.objective.
+        ObjectiveWeights`.  The scenario/problem come from the scenario
+        cache and the collective method's grounding from the per-process
+        :data:`~repro.selection.collective.GROUNDING_CACHE`, so after a
+        lane's first cell each further cell only *reweights* the cached
+        ground structure and re-solves (warm-started, when enabled) —
+        no re-generation, no re-chase, no re-ground.  Results are
+        bit-identical to grounding each cell from scratch.
+
+        Note the gold reference row (``include_gold``) is scored at the
+        default objective weights, like everywhere else in the engine.
+        """
+        base_settings = (
+            self.collective_settings
+            if self.collective_settings is not None
+            else CollectiveSettings()
+        )
+        jobs = [
+            ConfigCells(
+                replace(base, seed=seed),
+                self.methods,
+                include_gold=self.include_gold,
+                cache_dir=self.cache_dir,
+                collective_settings=replace(base_settings, weights=weights),
+            )
+            for weights in weight_grid
+            for seed in seeds
+        ]
+        cells = self._execute_jobs(jobs)
+        return WeightSweepResult(
+            weight_grid=tuple(weight_grid),
+            seeds=tuple(seeds),
+            cells_per_job=len(self.methods) + int(self.include_gold),
+            grid=GridResult(cells),
+        )
+
 
 @dataclass
 class SweepResult:
@@ -607,4 +662,54 @@ class SweepResult:
                 if getattr(cell.config, self.noise) == level and cell.method in per_method:
                     per_method[cell.method].append(cell.run.data.f1)
             rows.append([level] + [mean(per_method[m]) for m in methods])
+        return rows
+
+
+def weights_label(weights: ObjectiveWeights) -> str:
+    """Compact ``explains/errors/size`` rendering for table rows."""
+    return (
+        f"{float(weights.explains):g}/{float(weights.errors):g}/"
+        f"{float(weights.size):g}"
+    )
+
+
+@dataclass
+class WeightSweepResult:
+    """A weight sweep's cells plus per-weight-setting aggregation.
+
+    The grid's cells arrive in job order — ``cells_per_job`` consecutive
+    cells per (weight setting × seed) job, weight-setting-major — which
+    is what :meth:`cells_by_weight` slices on (scenario configs alone
+    cannot distinguish weight settings: the whole point of the sweep is
+    that the scenario is fixed).
+    """
+
+    weight_grid: tuple[ObjectiveWeights, ...]
+    seeds: tuple[int, ...]
+    cells_per_job: int
+    grid: GridResult
+
+    def cells_by_weight(self) -> list[tuple[ObjectiveWeights, list[GridCell]]]:
+        """All cells grouped per weight setting, sweep order."""
+        per_weight = len(self.seeds) * self.cells_per_job
+        groups = []
+        for w_idx, weights in enumerate(self.weight_grid):
+            lo = w_idx * per_weight
+            groups.append((weights, self.grid.cells[lo : lo + per_weight]))
+        return groups
+
+    def mean_f1_rows(self, methods: Sequence[str] | None = None) -> list[list]:
+        """``[weights label, mean data-F1 per method...]`` rows."""
+        from repro.evaluation.reporting import mean
+
+        methods = list(methods if methods is not None else self.grid.methods())
+        rows = []
+        for weights, cells in self.cells_by_weight():
+            per_method: dict[str, list[float]] = {m: [] for m in methods}
+            for cell in cells:
+                if cell.method in per_method:
+                    per_method[cell.method].append(cell.run.data.f1)
+            rows.append(
+                [weights_label(weights)] + [mean(per_method[m]) for m in methods]
+            )
         return rows

@@ -24,7 +24,7 @@ from repro.psl.database import Database
 from repro.psl.hlmrf import HardConstraint, HingeLossMRF, HingePotential
 from repro.psl.learning import RuleLearningResult, learn_rule_weights, rule_features
 from repro.psl.predicate import GroundAtom, Predicate
-from repro.psl.program import InferenceResult, PslProgram
+from repro.psl.program import GroundedProgram, InferenceResult, PslProgram
 from repro.psl.rounding import (
     local_search,
     randomized_rounding,
@@ -40,6 +40,7 @@ from repro.psl.sharding import (
     TermBlockBuilder,
     ground_shards,
     mrf_fingerprint,
+    structure_fingerprint,
 )
 
 __all__ = [
@@ -55,6 +56,7 @@ __all__ = [
     "GroundingShard",
     "GroundingStats",
     "HardConstraint",
+    "GroundedProgram",
     "HingeLossMRF",
     "HingePotential",
     "InferenceResult",
@@ -75,6 +77,7 @@ __all__ = [
     "lit",
     "local_search",
     "mrf_fingerprint",
+    "structure_fingerprint",
     "randomized_rounding",
     "neg",
     "round_solution",

@@ -125,17 +125,72 @@ class AdmmResult:
 
 
 class AdmmSolver:
-    """Block-partitioned consensus-ADMM solver for one HL-MRF."""
+    """Block-partitioned consensus-ADMM solver for one HL-MRF.
+
+    The partition is compiled **once** per solver and reused across
+    solves: because the HL-MRF energy is linear in the potential
+    weights, a weight-only change never touches the compiled structure.
+    Mutate weights on the MRF (``set_group_weights`` and friends) — or
+    pass ``weights=`` straight to :meth:`solve` — and the solver syncs
+    its partition in place (:attr:`~repro.psl.hlmrf.HingeLossMRF.
+    weights_version` tells it when), writing through any live
+    shared-memory staging so persistent pool workers see the new
+    weights without re-staging or pool recycling.
+
+    On a multi-worker process executor the shared-memory block staging
+    is likewise created once and kept for the solver's lifetime; it is
+    released by :meth:`close` (also on context-manager exit and when
+    the solver is garbage collected), so one-shot
+    ``AdmmSolver(mrf).solve()`` uses still unlink their segment as soon
+    as the solver goes away.
+    """
 
     def __init__(self, mrf: HingeLossMRF, settings: AdmmSettings | None = None):
         self._mrf = mrf
         self._settings = settings or AdmmSettings()
         self._partition = build_partition(mrf, self._settings.block_size)
         self._executor = resolve_executor(self._settings.executor)
+        self._weights_version = mrf.weights_version
+        self._shared: SharedPartitionBuffers | None = None
 
     @property
     def partition(self) -> TermPartition:
         return self._partition
+
+    @property
+    def mrf(self) -> HingeLossMRF:
+        return self._mrf
+
+    @property
+    def settings(self) -> AdmmSettings:
+        return self._settings
+
+    def close(self) -> None:
+        """Release the solver's shared-memory staging (idempotent)."""
+        shared, self._shared = self._shared, None
+        if shared is not None:
+            shared.release()
+
+    def __enter__(self) -> "AdmmSolver":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _sync_weights(self) -> None:
+        """Pull the MRF's current weights into the compiled partition.
+
+        No-op unless the MRF's ``weights_version`` moved since the last
+        sync; then the partition's flat weight vector is rewritten in
+        place (blocks hold views) and any live shared-memory staging
+        gets the write-through.
+        """
+        if self._mrf.weights_version == self._weights_version:
+            return
+        self._partition.set_potential_weights(self._mrf.potential_weights())
+        if self._shared is not None and not self._shared.released:
+            self._shared.write_weights(self._partition)
+        self._weights_version = self._mrf.weights_version
 
     def _local_updates(
         self,
@@ -190,6 +245,7 @@ class AdmmSolver:
         self,
         warm_start: np.ndarray | None = None,
         warm_state: AdmmWarmState | None = None,
+        weights=None,
     ) -> AdmmResult:
         """Run ADMM to convergence (or the iteration cap).
 
@@ -198,7 +254,21 @@ class AdmmSolver:
         duals and takes precedence when it structurally matches this
         problem (see :meth:`AdmmWarmState.matches` — a re-partitioned
         solve of the same MRF still qualifies).
+
+        *weights* re-weights the (unchanged) ground structure before
+        solving: a mapping applies per origin group
+        (:meth:`~repro.psl.hlmrf.HingeLossMRF.set_group_weights`), an
+        array replaces the full per-potential vector.  Combined with
+        *warm_state* from the previous solve this is the fast path of
+        iterative reweighting: same compiled partition, same shared
+        staging, a handful of warm iterations.
         """
+        if weights is not None:
+            if hasattr(weights, "items"):
+                self._mrf.set_group_weights(weights)
+            else:
+                self._mrf.set_potential_weights(weights)
+        self._sync_weights()
         settings = self._settings
         partition = self._partition
         n, copies = partition.num_variables, partition.num_copies
@@ -226,42 +296,45 @@ class AdmmSolver:
         z_old = z
         checked_at = -1
 
-        # Stage the (constant) block arrays in shared memory for
-        # process-mapped local updates; solve-local so concurrent solves
-        # cannot release each other's segment, and the finally unlinks
-        # it on every exit path, including a raising solve.
-        shared = SharedPartitionBuffers(partition) if self._wants_shared_blocks() else None
-        try:
-            for iteration in range(1, settings.max_iterations + 1):
-                # --- local updates: x_local = v - lambda[term] * a, per block
-                self._local_updates(z, u, x_local, rho, shared)
+        # Stage the (structure-constant) block arrays in shared memory for
+        # process-mapped local updates.  Solver-owned and kept across
+        # solves: re-solves of the same structure (weight sweeps, learning
+        # epochs) reuse the staged segment — weight changes write through
+        # in _sync_weights — and close()/__del__ unlinks it, so a
+        # one-shot ``AdmmSolver(mrf).solve()`` still releases promptly
+        # when the solver object dies, even if a solve raised.
+        shared = None
+        if self._wants_shared_blocks():
+            if self._shared is None or self._shared.released:
+                self._shared = SharedPartitionBuffers(partition)
+            shared = self._shared
+        for iteration in range(1, settings.max_iterations + 1):
+            # --- local updates: x_local = v - lambda[term] * a, per block
+            self._local_updates(z, u, x_local, rho, shared)
 
-                # --- consensus update: gather every block's copies --------
-                np.add(x_local, u, out=scratch)
-                z_old = z
-                z = np.clip(
-                    np.bincount(var, weights=scratch, minlength=n) / partition.degree,
-                    0.0,
-                    1.0,
+            # --- consensus update: gather every block's copies --------
+            np.add(x_local, u, out=scratch)
+            z_old = z
+            z = np.clip(
+                np.bincount(var, weights=scratch, minlength=n) / partition.degree,
+                0.0,
+                1.0,
+            )
+
+            # --- dual update ------------------------------------------
+            u += x_local
+            u -= z[var]
+
+            if iteration % settings.check_every == 0:
+                checked_at = iteration
+                primal = float(np.linalg.norm(x_local - z[var]))
+                dual = float(rho * np.linalg.norm((z - z_old)[var]))
+                eps = settings.epsilon_abs * np.sqrt(copies) + settings.epsilon_rel * max(
+                    float(np.linalg.norm(x_local)), float(np.linalg.norm(z[var]))
                 )
-
-                # --- dual update ------------------------------------------
-                u += x_local
-                u -= z[var]
-
-                if iteration % settings.check_every == 0:
-                    checked_at = iteration
-                    primal = float(np.linalg.norm(x_local - z[var]))
-                    dual = float(rho * np.linalg.norm((z - z_old)[var]))
-                    eps = settings.epsilon_abs * np.sqrt(copies) + settings.epsilon_rel * max(
-                        float(np.linalg.norm(x_local)), float(np.linalg.norm(z[var]))
-                    )
-                    if primal < eps and dual < eps:
-                        converged = True
-                        break
-        finally:
-            if shared is not None:
-                shared.release()
+                if primal < eps and dual < eps:
+                    converged = True
+                    break
 
         if iteration > 0 and checked_at != iteration:
             # The loop exited between convergence checks (or never reached

@@ -14,8 +14,10 @@ groundings (or are added directly).  Solved by consensus ADMM in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Iterable, Mapping
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Hashable, Iterable, Mapping, Sequence
+
+import numpy as np
 
 from repro.errors import InferenceError
 from repro.psl.predicate import GroundAtom
@@ -35,7 +37,7 @@ def filter_potential_terms(
     offset: float,
     weight: float,
     squared: bool,
-) -> tuple[list[tuple[object, float]], float]:
+) -> tuple[list[tuple[object, float]], float, float]:
     """Shared normalization of one potential's terms.
 
     The single source of truth for potential semantics, used by both the
@@ -44,18 +46,22 @@ def filter_potential_terms(
     diverge.  Validates the weight, drops zero-weight potentials,
     filters zero coefficients (normalizing values to float), and folds
     potentials that reduce to constants into an energy delta.  Returns
-    ``(kept pairs, constant-energy delta)``; an empty pair list means
-    nothing should be appended.
+    ``(kept pairs, constant-energy delta, constant hinge mass)`` — the
+    mass is the *unweighted* ``hinge^p`` of a folded constant (delta =
+    weight * mass), what reweighting needs to rescale the constant
+    without re-grounding.  An empty pair list means nothing should be
+    appended.
     """
     if weight < 0:
         raise InferenceError(f"potential weight must be non-negative, got {weight}")
     if weight == 0:
-        return [], 0.0
+        return [], 0.0, 0.0
     kept = [(a, float(c)) for a, c in pairs if c]
     if not kept:
         hinge = max(0.0, float(offset))
-        return [], weight * (hinge * hinge if squared else hinge)
-    return kept, 0.0
+        mass = hinge * hinge if squared else hinge
+        return [], weight * mass, mass
+    return kept, 0.0, 0.0
 
 
 def filter_constraint_terms(
@@ -92,6 +98,17 @@ class HingePotential:
         hinge = max(0.0, s)
         return self.weight * (hinge * hinge if self.squared else hinge)
 
+    def unit_value(self, x) -> float:
+        """The unweighted hinge mass ``max(0, a^T x + b)^p`` at *x*.
+
+        The potential's feature value: ``value(x) == weight *
+        unit_value(x)`` up to rounding.  Weight-independent, which is
+        what structure fingerprints and per-group hinge masses need.
+        """
+        s = self.offset + sum(c * x[i] for i, c in self.coefficients)
+        hinge = max(0.0, s)
+        return hinge * hinge if self.squared else hinge
+
 
 @dataclass(frozen=True)
 class HardConstraint:
@@ -126,6 +143,21 @@ class HingeLossMRF:
     those extents to the partitioned ADMM solver
     (:mod:`repro.psl.partition`) as contiguous runs of the flat
     potentials-then-constraints term order.
+
+    **Weights vs structure.**  The HL-MRF energy is *linear* in the
+    potential weights, so weights are first-class mutable state, kept
+    separate from the (immutable once grounded) term structure.  Every
+    potential carries an optional *origin group* — the rule or objective
+    component it was grounded from — and its weight lives in one
+    contiguous per-potential vector (:meth:`potential_weights`).
+    :meth:`set_group_weights` / :meth:`set_group_potential_weights` /
+    :meth:`set_potential_weights` rewrite weights in place (bumping
+    :attr:`weights_version` so compiled solver partitions know to
+    resync) without touching structure — the "ground once, reweight
+    many" contract: a reweighted MRF is element-for-element identical to
+    one freshly grounded at the new weights, provided no weight crosses
+    zero (zero-weight potentials are dropped at grounding time, so a
+    zero-crossing changes structure and is rejected).
     """
 
     variables: list[GroundAtom] = field(default_factory=list)
@@ -135,6 +167,22 @@ class HingeLossMRF:
     constant_energy: float = 0.0
     #: (pot_lo, pot_hi, con_lo, con_hi) extents of each add_term_block call.
     _block_extents: list[tuple[int, int, int, int]] = field(default_factory=list)
+    #: Per-potential origin-group id (-1 = fixed weight, no group).
+    potential_groups: list[int] = field(default_factory=list)
+    #: Bumped by every weight mutation; consumers cache against it.
+    weights_version: int = 0
+    _pot_weights: list[float] = field(default_factory=list)
+    _group_ids: dict[Hashable, int] = field(default_factory=dict)
+    _group_keys: list[Hashable] = field(default_factory=list)
+    _group_members: dict[int, list[int]] = field(default_factory=dict)
+    #: Per-group unweighted constant hinge mass and its currently
+    #: weighted contribution to ``constant_energy``.
+    _constant_mass: dict[int, float] = field(default_factory=dict)
+    _constant_weighted: dict[int, float] = field(default_factory=dict)
+    #: Groups that had potentials *dropped* because they were ground at
+    #: weight zero: reweighting them to a non-zero weight would need the
+    #: dropped structure back, so it is rejected (re-ground instead).
+    _zero_dropped: set[int] = field(default_factory=set)
 
     @property
     def num_variables(self) -> int:
@@ -159,12 +207,160 @@ class HingeLossMRF:
         except KeyError:
             raise InferenceError(f"{atom} is not a variable of this MRF") from None
 
+    # -- origin groups and weights -------------------------------------------
+
+    def group_id(self, key: Hashable) -> int:
+        """Intern *key* (a rule / objective component) as an origin group."""
+        gid = self._group_ids.get(key)
+        if gid is None:
+            gid = len(self._group_keys)
+            self._group_ids[key] = gid
+            self._group_keys.append(key)
+            self._group_members[gid] = []
+        return gid
+
+    @property
+    def group_keys(self) -> tuple[Hashable, ...]:
+        """All interned origin-group keys, in intern order (id order)."""
+        return tuple(self._group_keys)
+
+    def group_members(self, key: Hashable) -> tuple[int, ...]:
+        """Potential indices belonging to group *key* (append order)."""
+        gid = self._group_ids.get(key)
+        if gid is None:
+            return ()
+        return tuple(self._group_members[gid])
+
+    def potential_weights(self) -> np.ndarray:
+        """The per-potential weight vector as a contiguous float64 array.
+
+        A snapshot copy: mutate weights through the ``set_*`` methods
+        (which keep the potentials, the constant energy, and
+        :attr:`weights_version` consistent), not by writing into this
+        array.
+        """
+        return np.asarray(self._pot_weights, dtype=np.float64)
+
+    def _record_constant(self, gid: int, mass: float, weighted: float) -> None:
+        if mass:
+            self._constant_mass[gid] = self._constant_mass.get(gid, 0.0) + mass
+            self._constant_weighted[gid] = (
+                self._constant_weighted.get(gid, 0.0) + weighted
+            )
+
+    def _set_weight(self, i: int, weight: float) -> None:
+        if self._pot_weights[i] != weight:
+            self.potentials[i] = replace(self.potentials[i], weight=weight)
+            self._pot_weights[i] = weight
+
+    @staticmethod
+    def _check_new_weight(key: Hashable, weight: float) -> float:
+        weight = float(weight)
+        if weight < 0:
+            raise InferenceError(
+                f"group {key!r}: potential weight must be non-negative, got {weight}"
+            )
+        if weight == 0:
+            raise InferenceError(
+                f"group {key!r}: cannot reweight to zero — zero-weight "
+                "potentials are dropped at grounding time, so this would "
+                "change the ground structure; re-ground instead"
+            )
+        return weight
+
+    def set_group_weights(self, weights: Mapping[Hashable, float]) -> None:
+        """Set every potential of each group to its group's new weight.
+
+        Unknown group keys are skipped (that origin produced no
+        groundings here).  Folded constants belonging to a group are
+        rescaled by the new weight, so :attr:`constant_energy` tracks
+        exactly what a fresh grounding at the new weights would report.
+        """
+        for key, weight in weights.items():
+            gid = self._group_ids.get(key)
+            if gid is None:
+                continue
+            if gid in self._zero_dropped and float(weight) != 0.0:
+                raise InferenceError(
+                    f"group {key!r} was ground at weight zero, so its "
+                    "potentials were dropped from the structure; reweighting "
+                    "it to a non-zero weight cannot restore them — re-ground "
+                    "instead"
+                )
+            members = self._group_members[gid]
+            mass = self._constant_mass.get(gid, 0.0)
+            if float(weight) == 0.0 and not members and not mass:
+                continue  # was ground at zero weight; zero -> zero is a no-op
+            weight = self._check_new_weight(key, weight)
+            for i in members:
+                self._set_weight(i, weight)
+            if mass:
+                weighted = weight * mass
+                self.constant_energy += weighted - self._constant_weighted[gid]
+                self._constant_weighted[gid] = weighted
+        self.weights_version += 1
+
+    def set_group_potential_weights(
+        self, key: Hashable, weights: Sequence[float]
+    ) -> None:
+        """Set one group's member potentials to per-member weights.
+
+        For groups whose members do not share one scalar — e.g. the
+        collective model's per-candidate prior, where each potential's
+        weight is its own linear combination of objective components.
+        *weights* is ordered like :meth:`group_members` (append order).
+        """
+        gid = self._group_ids.get(key)
+        if gid is None:
+            if len(weights):
+                raise InferenceError(f"unknown origin group {key!r}")
+            return
+        if gid in self._zero_dropped:
+            raise InferenceError(
+                f"group {key!r} was ground at weight zero (potentials "
+                "dropped); re-ground instead of reweighting"
+            )
+        members = self._group_members[gid]
+        if len(weights) != len(members):
+            raise InferenceError(
+                f"group {key!r} has {len(members)} potentials, got "
+                f"{len(weights)} weights"
+            )
+        for i, weight in zip(members, weights):
+            self._set_weight(i, self._check_new_weight(key, weight))
+        self.weights_version += 1
+
+    def set_potential_weights(self, weights: Sequence[float]) -> None:
+        """Replace the full per-potential weight vector in place.
+
+        The fully general escape hatch (group APIs cover the common
+        cases).  Folded constants cannot be updated through this path —
+        they have no potential index — so an MRF whose grounding folded
+        group-tagged constants rejects it (use the group APIs there, so
+        ``constant_energy`` rescales and the reweighted MRF stays
+        identical to a fresh grounding).
+        """
+        if self._constant_mass:
+            raise InferenceError(
+                "this MRF has group-folded constant potentials whose energy "
+                "the flat weight vector cannot rescale; use "
+                "set_group_weights/set_group_potential_weights instead"
+            )
+        if len(weights) != len(self.potentials):
+            raise InferenceError(
+                f"expected {len(self.potentials)} weights, got {len(weights)}"
+            )
+        for i, weight in enumerate(weights):
+            self._set_weight(i, self._check_new_weight("<vector>", weight))
+        self.weights_version += 1
+
     def add_potential(
         self,
         coefficients: Mapping[GroundAtom, float],
         offset: float,
         weight: float,
         squared: bool = False,
+        group: Hashable | None = None,
     ) -> None:
         """Add ``weight * max(0, sum coeff*atom + offset)^(2 if squared)``.
 
@@ -173,13 +369,25 @@ class HingeLossMRF:
         ``weight * max(0, offset)^p`` is real and is tracked in
         :attr:`constant_energy` so :meth:`energy` reports the true
         objective instead of silently dropping it.
+
+        *group* tags the potential (and any folded constant) with its
+        origin — the hook the reweighting API keys on.
         """
-        kept, constant = filter_potential_terms(
+        kept, constant, mass = filter_potential_terms(
             coefficients.items(), offset, weight, squared
         )
         self.constant_energy += constant
+        gid = self.group_id(group) if group is not None else -1
         if not kept:
+            if gid >= 0:
+                self._record_constant(gid, mass, constant)
+                if weight == 0:
+                    self._zero_dropped.add(gid)
             return
+        if gid >= 0:
+            self._group_members[gid].append(len(self.potentials))
+        self.potential_groups.append(gid)
+        self._pot_weights.append(float(weight))
         self.potentials.append(
             HingePotential(
                 tuple((self.variable_index(a), c) for a, c in kept),
@@ -219,10 +427,20 @@ class HingeLossMRF:
         """
         local_to_global = self.intern_atoms(atoms)
         self.constant_energy += block.constant_energy
+        # Intern every group the producer mentioned, in mention order —
+        # dropped ones included — so the merged registry (group ids,
+        # zero-dropped set) matches the serial add_potential path's.
+        for key, zero_dropped in block.observed_groups:
+            gid = self.group_id(key)
+            if zero_dropped:
+                self._zero_dropped.add(gid)
+        for key, mass, weighted in block.constant_masses:
+            self._record_constant(self.group_id(key), mass, weighted)
         pot_before, con_before = len(self.potentials), len(self.constraints)
         kinds = block.kinds
         offsets = block.offsets
         weights = block.weights
+        groups = block.groups
         ptr = block.term_ptr
         atom_index = block.atom_index
         coefficient = block.coefficient
@@ -233,6 +451,12 @@ class HingeLossMRF:
             )
             kind = int(kinds[t])
             if kind in (KIND_HINGE, KIND_SQUARED):
+                key = groups[t] if groups is not None else None
+                gid = self.group_id(key) if key is not None else -1
+                if gid >= 0:
+                    self._group_members[gid].append(len(self.potentials))
+                self.potential_groups.append(gid)
+                self._pot_weights.append(float(weights[t]))
                 self.potentials.append(
                     HingePotential(
                         pairs, float(offsets[t]), float(weights[t]), kind == KIND_SQUARED

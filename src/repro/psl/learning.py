@@ -17,6 +17,17 @@ comparatively cheaper::
 This mirrors the maximum-likelihood / large-margin learning of the PSL
 system, substituting MAP inference for expectation computation (the
 standard "MPE approximation" the PSL literature itself uses).
+
+Because the energy is linear in the weights, the ground structure is
+*invariant* across weight updates (as long as no weight crosses zero —
+the ``floor`` guarantees that).  Learning therefore grounds **once** per
+call into a :class:`~repro.psl.program.GroundedProgram` and then only
+rewrites weights in place between epochs: the MAP solve reuses one
+compiled ADMM partition and Phi comes from the grounded artifact's
+recorded origin groups, not a fresh grounding.  The historical
+implementation re-ground three times per epoch (once for the solve, once
+per ``rule_features`` call); results here are bit-identical to that
+path, just without the grounding work.
 """
 
 from __future__ import annotations
@@ -24,12 +35,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping
 
-import numpy as np
-
 from repro.errors import InferenceError
-from repro.psl.admm import AdmmSettings, AdmmSolver
+from repro.psl.admm import AdmmSettings
 from repro.psl.predicate import GroundAtom
-from repro.psl.program import PslProgram
+from repro.psl.program import GroundedProgram, PslProgram
 from repro.psl.rule import Rule
 
 
@@ -37,28 +46,19 @@ def rule_features(
     program: PslProgram,
     assignment: Mapping[GroundAtom, float],
     weight_overrides: Mapping[Rule, float] | None = None,
+    grounded: GroundedProgram | None = None,
 ) -> dict[Rule, float]:
     """Phi_r: per-rule unweighted hinge mass at *assignment*.
 
     *assignment* must cover every target atom; observed atoms contribute
-    through the grounding constants.
+    through the grounding constants.  Pass *grounded* (a
+    :meth:`~repro.psl.program.PslProgram.ground_program` artifact) to
+    read the features off an existing grounding; otherwise the program
+    is ground once for this call.
     """
-    mrf, origins = program.ground_with_origins(weight_overrides)
-    x = np.empty(mrf.num_variables)
-    for atom in program.database.targets:
-        try:
-            x[mrf.index_of(atom)] = assignment[atom]
-        except KeyError:
-            raise InferenceError(f"assignment missing target atom {atom}") from None
-    features: dict[Rule, float] = {}
-    for potential, origin in zip(mrf.potentials, origins):
-        if origin is None:
-            continue
-        weighted = potential.value(x)
-        features[origin] = features.get(origin, 0.0) + (
-            weighted / potential.weight if potential.weight > 0 else 0.0
-        )
-    return features
+    if grounded is None:
+        grounded = program.ground_program(weight_overrides)
+    return grounded.rule_features(assignment)
 
 
 @dataclass
@@ -84,31 +84,42 @@ def learn_rule_weights(
     """Perceptron over the program's soft-rule weights.
 
     *truth* assigns every target atom its desired value.  Hard rules and
-    raw potentials are left untouched.
+    raw potentials are left untouched.  The program is ground exactly
+    once (``program.grounding_count`` moves by one); every epoch then
+    reweights the grounded artifact in place and re-solves on the same
+    compiled partition.
     """
+    if floor <= 0:
+        raise InferenceError(
+            f"floor must be positive (got {floor}): a weight reaching zero "
+            "would change the ground structure, which the ground-once "
+            "learning loop holds fixed"
+        )
     soft_rules = [r for r in program.rules if not r.is_hard]
     weights: dict[Rule, float] = {r: float(r.weight) for r in soft_rules}
     energy_gaps: list[float] = []
 
-    for _ in range(epochs):
-        mrf, origins = program.ground_with_origins(weights)
-        solved = AdmmSolver(mrf, admm).solve()
-        prediction = {
-            atom: float(solved.x[mrf.index_of(atom)])
-            for atom in program.database.targets
-        }
-        phi_prediction = rule_features(program, prediction, weights)
-        phi_truth = rule_features(program, truth, weights)
-        energy_prediction = sum(
-            weights[r] * phi_prediction.get(r, 0.0) for r in soft_rules
-        )
-        energy_truth = sum(weights[r] * phi_truth.get(r, 0.0) for r in soft_rules)
-        gap = energy_truth - energy_prediction
-        energy_gaps.append(gap)
-        if gap <= 1e-6:
-            break
-        for r in soft_rules:
-            delta = phi_prediction.get(r, 0.0) - phi_truth.get(r, 0.0)
-            weights[r] = max(floor, weights[r] + learning_rate * delta)
+    with program.ground_program(weights, settings=admm) as grounded:
+        mrf = grounded.mrf
+        for _ in range(epochs):
+            grounded.set_rule_weights(weights)
+            solved = grounded.solve()
+            prediction = {
+                atom: float(solved.x[mrf.index_of(atom)])
+                for atom in program.database.targets
+            }
+            phi_prediction = grounded.rule_features(prediction)
+            phi_truth = grounded.rule_features(truth)
+            energy_prediction = sum(
+                weights[r] * phi_prediction.get(r, 0.0) for r in soft_rules
+            )
+            energy_truth = sum(weights[r] * phi_truth.get(r, 0.0) for r in soft_rules)
+            gap = energy_truth - energy_prediction
+            energy_gaps.append(gap)
+            if gap <= 1e-6:
+                break
+            for r in soft_rules:
+                delta = phi_prediction.get(r, 0.0) - phi_truth.get(r, 0.0)
+                weights[r] = max(floor, weights[r] + learning_rate * delta)
 
     return RuleLearningResult(weights, energy_gaps)

@@ -148,6 +148,13 @@ class TermPartition:
     copy count); the blocks carry everything term-local.  Blocks tile
     the flat term range in order, so ``concat(block.var for blocks) ==
     var`` — the invariant behind the solver's scatter-gather.
+
+    ``term_weights`` is the flat per-term weight vector (potentials
+    first, then a zero per constraint); every block's ``weight`` array
+    is a *view* into it, so :meth:`set_potential_weights` rewrites the
+    weights of an already-compiled partition in place — the solver-side
+    half of the ground-once/reweight-many contract.  Structure
+    (coefficients, offsets, norms, the consensus maps) never changes.
     """
 
     num_variables: int
@@ -155,6 +162,24 @@ class TermPartition:
     blocks: tuple[BlockArrays, ...]
     var: np.ndarray  # int64[num_copies], global copy -> variable
     degree: np.ndarray  # float64[num_variables], max(copy count, 1)
+    #: flat float64[num_terms]; blocks' ``weight`` arrays are views of it.
+    term_weights: np.ndarray = None  # type: ignore[assignment]
+    num_potentials: int = 0
+
+    def set_potential_weights(self, weights: np.ndarray) -> None:
+        """Overwrite the potential weights of this compiled partition.
+
+        *weights* is the MRF's contiguous per-potential vector
+        (constraint terms have no weight).  Writes through the flat
+        array, so every block — each holds a view — sees the new values
+        with zero re-compilation.
+        """
+        if len(weights) != self.num_potentials:
+            raise InferenceError(
+                f"expected {self.num_potentials} potential weights, "
+                f"got {len(weights)}"
+            )
+        self.term_weights[: self.num_potentials] = weights
 
     @property
     def num_copies(self) -> int:
@@ -254,6 +279,8 @@ def build_partition(
         blocks=tuple(blocks),
         var=var,
         degree=degree,
+        term_weights=weight_arr,
+        num_potentials=len(mrf.potentials),
     )
 
 
@@ -492,6 +519,27 @@ class SharedPartitionBuffers:
             # caller holds a handle to release yet.
             self.release()
             raise
+
+    def write_weights(self, partition: TermPartition) -> None:
+        """Push *partition*'s current block weights into the shared segment.
+
+        The weight write-through of the ground-once/reweight-many
+        pipeline: after an in-place
+        :meth:`TermPartition.set_potential_weights`, this copies each
+        block's (view-backed) weight array over its shared-memory
+        mirror.  Worker processes hold zero-copy views into the same
+        segment, so persistent pool workers observe the new weights on
+        their next block update — no re-staging, no descriptor changes,
+        no pool recycling.  Structure fields are never rewritten.
+        """
+        if self._segment is None:
+            raise InferenceError("shared partition buffers already released")
+        buf = self._segment.buf
+        for block, mirror in zip(partition.blocks, self.blocks):
+            offset, length = mirror._layout["weight"]
+            view = np.ndarray((length,), dtype=np.float64, buffer=buf, offset=offset)
+            np.copyto(view, block.weight, casting="same_kind")
+            del view  # a live export would pin the mapping on release
 
     @property
     def name(self) -> str | None:

@@ -153,7 +153,9 @@ class RuleGroundingShard:
             if self.rule.is_hard:
                 builder.add_constraint(targets, constant)
             else:
-                builder.add_potential(targets, constant, self.weight, self.rule.squared)
+                builder.add_potential(
+                    targets, constant, self.weight, self.rule.squared, group=self.rule
+                )
         atoms, block = builder.finish()
         return ShardResult(self.order, atoms, block)
 
@@ -199,6 +201,10 @@ class PslProgram:
         self._raw_potentials: list[tuple[dict[GroundAtom, float], float, float, bool]] = []
         self._raw_constraints: list[LinearConstraintSpec] = []
         self.database = Database()
+        #: Full groundings performed so far (serial or sharded).  The
+        #: regression counter behind the one-grounding-per-call contract
+        #: of :func:`repro.psl.learning.learn_rule_weights`.
+        self.grounding_count = 0
 
     # -- model construction --------------------------------------------------
 
@@ -343,6 +349,7 @@ class PslProgram:
         pickled into every rule shard; in-process executors keep it
         embedded, where it costs nothing.
         """
+        self.grounding_count += 1
         mrf = HingeLossMRF()
         for atom in self.database.targets_in_order:
             mrf.variable_index(atom)
@@ -378,6 +385,7 @@ class PslProgram:
         map to None.
         """
         overrides = weight_overrides or {}
+        self.grounding_count += 1
         mrf = HingeLossMRF()
         origins: list[Rule | None] = []
         for atom in self.database.targets_in_order:
@@ -394,7 +402,7 @@ class PslProgram:
                     mrf.add_constraint(targets, constant)
                 else:
                     before = len(mrf.potentials)
-                    mrf.add_potential(targets, constant, weight, rule.squared)
+                    mrf.add_potential(targets, constant, weight, rule.squared, group=rule)
                     origins.extend([rule] * (len(mrf.potentials) - before))
         for coefficients, offset, weight, squared in self._raw_potentials:
             before = len(mrf.potentials)
@@ -441,6 +449,26 @@ class PslProgram:
             num_constraints=len(mrf.constraints),
         )
 
+    def ground_program(
+        self,
+        weight_overrides: Mapping[Rule, float] | None = None,
+        settings: AdmmSettings | None = None,
+        executor: MapExecutor | str | None = None,
+        shard_size: int | None = None,
+    ) -> "GroundedProgram":
+        """Ground once into a reusable weight-mutable artifact.
+
+        The returned :class:`GroundedProgram` owns the compiled HL-MRF
+        *structure* and treats the rule weights as a mutable vector:
+        :meth:`GroundedProgram.set_rule_weights` rewrites them in place
+        and :meth:`GroundedProgram.solve` reuses one compiled ADMM
+        partition across every reweighted solve.  This is the artifact
+        weight learning iterates on — one grounding per learning run,
+        not three per epoch.
+        """
+        mrf = self.ground(weight_overrides, executor=executor, shard_size=shard_size)
+        return GroundedProgram(self, mrf, settings)
+
     # -- introspection ---------------------------------------------------------
 
     @property
@@ -449,3 +477,105 @@ class PslProgram:
 
     def predicates(self) -> Iterable[Predicate]:
         return self._predicates.values()
+
+
+class GroundedProgram:
+    """One grounding of a :class:`PslProgram`, with mutable rule weights.
+
+    The HL-MRF energy is linear in the rule weights, so iterative
+    reweighting schemes (perceptron weight learning, MM/EM-style
+    algorithms) never need to re-ground: this artifact fixes the ground
+    *structure* once and exposes
+
+    * :meth:`set_rule_weights` — in-place weight writes, valid while no
+      weight crosses zero (the MRF rejects zero crossings, since
+      zero-weight potentials are dropped at grounding time);
+    * :meth:`solve` — MAP inference on one lazily compiled, persistently
+      reused ADMM partition (pass ``warm_state`` from the previous
+      epoch's result to also reuse the dual state);
+    * :meth:`rule_features` — Phi_r, the per-rule unweighted hinge
+      masses at an assignment, read from the recorded per-potential
+      origin groups instead of a fresh grounding.
+
+    A reweighted artifact is element-for-element identical to a fresh
+    grounding at the same weights, so solves from it are bit-identical
+    to the re-grounding path they replace.
+    """
+
+    def __init__(
+        self,
+        program: PslProgram,
+        mrf: HingeLossMRF,
+        settings: AdmmSettings | None = None,
+    ):
+        self.program = program
+        self.mrf = mrf
+        self._settings = settings
+        self._solver: AdmmSolver | None = None
+
+    @property
+    def solver(self) -> AdmmSolver:
+        """The artifact's persistent solver (partition compiled once)."""
+        if self._solver is None:
+            self._solver = AdmmSolver(self.mrf, self._settings)
+        return self._solver
+
+    def set_rule_weights(self, weights: Mapping[Rule, float]) -> None:
+        """Rewrite the weights of every grounding of each rule in place."""
+        self.mrf.set_group_weights(weights)
+
+    def solve(
+        self,
+        warm_start: np.ndarray | None = None,
+        warm_state: AdmmWarmState | None = None,
+    ) -> AdmmResult:
+        """MAP-solve the current weights on the reused compiled partition."""
+        return self.solver.solve(warm_start, warm_state=warm_state)
+
+    def assignment_vector(self, assignment: Mapping[GroundAtom, float]) -> np.ndarray:
+        """A full MRF-variable vector from a per-target-atom assignment."""
+        x = np.empty(self.mrf.num_variables)
+        for atom in self.program.database.targets:
+            try:
+                x[self.mrf.index_of(atom)] = assignment[atom]
+            except KeyError:
+                raise InferenceError(
+                    f"assignment missing target atom {atom}"
+                ) from None
+        return x
+
+    def rule_features(
+        self, assignment: Mapping[GroundAtom, float]
+    ) -> dict[Rule, float]:
+        """Phi_r: per-rule unweighted hinge mass at *assignment*.
+
+        Computed from the grounded structure's recorded origin groups —
+        no re-grounding.  Arithmetic matches the historical
+        ``value/weight`` evaluation exactly, so learning trajectories
+        are bit-identical to the re-grounding path.
+        """
+        x = self.assignment_vector(assignment)
+        features: dict[Rule, float] = {}
+        group_keys = self.mrf.group_keys
+        for potential, gid in zip(self.mrf.potentials, self.mrf.potential_groups):
+            if gid < 0:
+                continue
+            key = group_keys[gid]
+            if not isinstance(key, Rule):
+                continue
+            weighted = potential.value(x)
+            features[key] = features.get(key, 0.0) + (
+                weighted / potential.weight if potential.weight > 0 else 0.0
+            )
+        return features
+
+    def close(self) -> None:
+        """Release solver-held resources (shared-memory staging)."""
+        if self._solver is not None:
+            self._solver.close()
+
+    def __enter__(self) -> "GroundedProgram":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -68,6 +68,20 @@ class TermBlock:
     MRF; the merge remaps them.  ``weights`` is meaningful only for
     potential kinds.  ``constant_energy`` carries potentials that reduced
     to constants inside the shard.
+
+    ``groups`` (when present) names each term's *origin group* — the
+    rule or objective component it was grounded from; ``None`` entries
+    (and all constraint kinds) are ungrouped.  ``constant_masses``
+    carries the per-group unweighted hinge mass of folded constants as
+    ``(group key, mass, weighted delta)`` triples.  ``observed_groups``
+    lists *every* group the shard's producer mentioned, in first-mention
+    order, each with a flag marking groups whose potentials were dropped
+    for being ground at weight zero — merged first, so the MRF's group
+    registry (intern order, zero-dropped set) is identical to the one
+    the serial ``add_potential`` path builds, dropped groups included.
+    All three feed the merged MRF's weight-reweighting registry;
+    ``None``/empty keeps full backward compatibility with group-less
+    producers.
     """
 
     kinds: np.ndarray  # int8[num_terms], KIND_* values
@@ -77,6 +91,9 @@ class TermBlock:
     atom_index: np.ndarray  # int32[nnz], shard-local
     coefficient: np.ndarray  # float64[nnz]
     constant_energy: float = 0.0
+    groups: tuple | None = None  # per-term origin keys (None = ungrouped)
+    constant_masses: tuple = ()  # ((group key, mass, weighted delta), ...)
+    observed_groups: tuple = ()  # ((group key, zero_dropped), ...)
 
     @property
     def num_terms(self) -> int:
@@ -103,10 +120,13 @@ class TermBlockBuilder:
         self._kinds: list[int] = []
         self._offsets: list[float] = []
         self._weights: list[float] = []
+        self._groups: list = []
         self._ptr: list[int] = [0]
         self._atom_index: list[int] = []
         self._coefficient: list[float] = []
         self._constant_energy = 0.0
+        self._constant_masses: dict = {}
+        self._observed_groups: dict = {}  # key -> zero_dropped (insertion order)
 
     def _local(self, atom: GroundAtom) -> int:
         idx = self._atoms.get(atom)
@@ -121,12 +141,28 @@ class TermBlockBuilder:
         offset: float,
         weight: float,
         squared: bool = False,
+        group=None,
     ) -> None:
-        kept, constant = filter_potential_terms(coefficients, offset, weight, squared)
+        kept, constant, mass = filter_potential_terms(
+            coefficients, offset, weight, squared
+        )
+        if group is not None:
+            # Mirror the serial path's registry exactly: the group is
+            # interned even when this potential is dropped, and a
+            # zero-weight drop is remembered so reweighting it back up
+            # is rejected rather than silently wrong.
+            self._observed_groups[group] = self._observed_groups.get(group, False) or (
+                not kept and weight == 0
+            )
         self._constant_energy += constant
         if not kept:
+            if group is not None and mass:
+                old_mass, old_weighted = self._constant_masses.get(group, (0.0, 0.0))
+                self._constant_masses[group] = (old_mass + mass, old_weighted + constant)
             return
-        self._append(KIND_SQUARED if squared else KIND_HINGE, kept, offset, weight)
+        self._append(
+            KIND_SQUARED if squared else KIND_HINGE, kept, offset, weight, group
+        )
 
     def add_constraint(
         self,
@@ -137,14 +173,20 @@ class TermBlockBuilder:
         kept = filter_constraint_terms(coefficients, offset, equality)
         if not kept:
             return
-        self._append(KIND_EQ if equality else KIND_LEQ, kept, offset, 0.0)
+        self._append(KIND_EQ if equality else KIND_LEQ, kept, offset, 0.0, None)
 
     def _append(
-        self, kind: int, pairs: list[tuple[GroundAtom, float]], offset: float, weight: float
+        self,
+        kind: int,
+        pairs: list[tuple[GroundAtom, float]],
+        offset: float,
+        weight: float,
+        group,
     ) -> None:
         self._kinds.append(kind)
         self._offsets.append(float(offset))
         self._weights.append(float(weight))
+        self._groups.append(group)
         for atom, c in pairs:
             self._atom_index.append(self._local(atom))
             self._coefficient.append(c)
@@ -160,6 +202,14 @@ class TermBlockBuilder:
             atom_index=np.asarray(self._atom_index, dtype=np.int32),
             coefficient=np.asarray(self._coefficient, dtype=np.float64),
             constant_energy=self._constant_energy,
+            groups=tuple(self._groups) if any(
+                g is not None for g in self._groups
+            ) else None,
+            constant_masses=tuple(
+                (key, mass, weighted)
+                for key, (mass, weighted) in self._constant_masses.items()
+            ),
+            observed_groups=tuple(self._observed_groups.items()),
         )
         return tuple(self._atoms), block
 
@@ -341,6 +391,46 @@ def mrf_fingerprint(mrf: HingeLossMRF, probe_points: int = 3) -> bytes:
             for c in mrf.constraints
         ],
         "constant_energy": mrf.constant_energy,
+        "probes": probes,
+    }
+    return json.dumps(payload, sort_keys=True).encode()
+
+
+def structure_fingerprint(mrf: HingeLossMRF, probe_points: int = 3) -> bytes:
+    """A canonical byte serialization of an MRF's *weight-independent* part.
+
+    The structural twin of :func:`mrf_fingerprint`: variable order,
+    potential coefficients/offsets/squaredness, per-potential origin
+    group, constraints, and per-group constant hinge masses — everything
+    except the mutable weight vector and the weighted constant energy.
+    Two groundings of the same program at different (all-nonzero) weight
+    settings fingerprint equally here, which is what lets a scenario
+    cache key structure separately from weights: equal structure
+    fingerprints mean reweight-and-resolve is exact, no re-ground
+    needed.  The probe energies use the *unit* (weight-one) hinge masses
+    so they, too, are weight-independent.
+    """
+    rng = np.random.default_rng(20170417)
+    probes = []
+    for _ in range(probe_points):
+        x = rng.random(mrf.num_variables)
+        unit = sum(p.unit_value(x) for p in mrf.potentials)
+        probes.append([float(unit), float(mrf.max_violation(x))])
+    group_render = [repr(key) for key in mrf.group_keys]
+    payload = {
+        "variables": [_atom_fingerprint(a) for a in mrf.variables],
+        "potentials": [
+            [list(map(list, p.coefficients)), p.offset, p.squared, int(gid)]
+            for p, gid in zip(mrf.potentials, mrf.potential_groups)
+        ],
+        "constraints": [
+            [list(map(list, c.coefficients)), c.offset, c.equality]
+            for c in mrf.constraints
+        ],
+        "groups": group_render,
+        "constant_masses": sorted(
+            [group_render[gid], mass] for gid, mass in mrf._constant_mass.items()
+        ),
         "probes": probes,
     }
     return json.dumps(payload, sort_keys=True).encode()

@@ -7,7 +7,10 @@ from repro.selection.baselines import (
     solve_independent,
 )
 from repro.selection.collective import (
+    GROUNDING_CACHE,
+    CollectiveGroundingCache,
     CollectivePlan,
+    GroundedCollective,
     CollectiveResult,
     CollectiveSettings,
     CollectiveWarmPayload,
@@ -55,10 +58,13 @@ from repro.selection.objective import (
 )
 
 __all__ = [
+    "GROUNDING_CACHE",
+    "CollectiveGroundingCache",
     "CollectivePlan",
     "CollectiveResult",
     "CollectiveSettings",
     "CollectiveWarmPayload",
+    "GroundedCollective",
     "DEFAULT_WEIGHTS",
     "IncrementalObjective",
     "ObjectiveBreakdown",

@@ -44,11 +44,15 @@ default solve partition.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Mapping
 
 import numpy as np
+
+from repro.errors import InferenceError
 
 from repro.datamodel.instance import Fact
 from repro.executors import MapExecutor
@@ -79,6 +83,18 @@ IN_PREDICATE = Predicate("inMap", 1, closed=False)
 EXPLAINED_PREDICATE = Predicate("explained", 1, closed=False)
 ERROR_PREDICATE = Predicate("errorOf", 1, closed=False)
 
+#: Origin-group keys of the model's weighted objective components.  Every
+#: potential the shards emit is tagged with one of these, so a grounded
+#: MRF can be *reweighted* in place — per-term weights recomputed from a
+#: new :class:`~repro.selection.objective.ObjectiveWeights` — instead of
+#: re-ground.  Coverage and error-mediator terms scale uniformly with
+#: their component weight; prior terms are per-candidate linear
+#: combinations (``w_err * private_errors + w_size * size``) and go
+#: through the per-member weight API.
+GROUP_EXPLAINS = "explains"
+GROUP_ERRORS = "errors"
+GROUP_PRIOR = "prior"
+
 
 @dataclass
 class CollectiveSettings:
@@ -102,6 +118,12 @@ class CollectiveSettings:
     rounding_local_search: bool = True
     ground_executor: MapExecutor | str | None = None
     ground_shard_size: int | None = None
+    #: Reuse a per-process :class:`GroundedCollective` across solves of
+    #: the same problem structure: weight-only changes reweight the
+    #: cached MRF in place and re-solve on its compiled ADMM partition
+    #: instead of re-grounding (results are bit-identical to the
+    #: re-grounding path).  Set False to force a fresh ground per call.
+    reuse_grounding: bool = True
 
 
 @dataclass(frozen=True)
@@ -145,7 +167,9 @@ class CoverageShard:
         builder = TermBlockBuilder()
         for t_idx, support in self.entries:
             atom = GroundAtom(EXPLAINED_PREDICATE, (t_idx,))
-            builder.add_potential([(atom, -1.0)], 1.0, self.weight, self.squared)
+            builder.add_potential(
+                [(atom, -1.0)], 1.0, self.weight, self.squared, group=GROUP_EXPLAINS
+            )
             cap = [(atom, 1.0)]
             for i, degree in support:
                 cap.append((GroundAtom(IN_PREDICATE, (i,)), -degree))
@@ -172,7 +196,9 @@ class ErrorShard:
         builder = TermBlockBuilder()
         for e_idx, owners in self.entries:
             atom = GroundAtom(ERROR_PREDICATE, (e_idx,))
-            builder.add_potential([(atom, 1.0)], 0.0, self.weight, self.squared)
+            builder.add_potential(
+                [(atom, 1.0)], 0.0, self.weight, self.squared, group=GROUP_ERRORS
+            )
             for i in owners:
                 builder.add_constraint(
                     [(GroundAtom(IN_PREDICATE, (i,)), 1.0), (atom, -1.0)], 0.0
@@ -197,7 +223,11 @@ class PriorShard:
         builder = TermBlockBuilder()
         for i, penalty in self.entries:
             builder.add_potential(
-                [(GroundAtom(IN_PREDICATE, (i,)), 1.0)], 0.0, penalty, self.squared
+                [(GroundAtom(IN_PREDICATE, (i,)), 1.0)],
+                0.0,
+                penalty,
+                self.squared,
+                group=GROUP_PRIOR,
             )
         atoms, block = builder.finish()
         return ShardResult(self.order, atoms, block)
@@ -214,6 +244,17 @@ class CollectivePlan:
     index, then ``explained`` atoms in ``j_facts`` order, then
     ``errorOf`` atoms in sorted-owner-group order); ``shards`` hold the
     work, each spec carrying only its slice of the problem's tables.
+
+    ``prior_components`` records every candidate's raw prior features
+    ``(candidate, private error count, size)`` and ``prior_included``
+    the candidates whose folded penalty was positive at the planning
+    weights (only those became potentials — zero-weight terms are
+    dropped at grounding time).  Together they let a grounded MRF be
+    *reweighted* for a new :class:`ObjectiveWeights` without
+    re-planning: new per-candidate penalties are recomputed from the
+    components, and the included set doubles as the zero-pattern guard
+    (a penalty crossing zero means the structure itself would change,
+    so reweighting must fall back to a fresh ground).
     """
 
     in_atoms: dict[int, GroundAtom]
@@ -221,6 +262,8 @@ class CollectivePlan:
     error_atoms: dict[int, GroundAtom]
     targets: tuple[GroundAtom, ...]
     shards: tuple[GroundingShard, ...]
+    prior_components: tuple[tuple[int, int, int], ...] = ()
+    prior_included: tuple[int, ...] = ()
 
 
 def plan_collective_grounding(
@@ -278,11 +321,13 @@ def plan_collective_grounding(
             error_entries.append((e_idx, tuple(who)))
 
     # Per-candidate priors: private errors + size, folded into one term.
+    prior_components = tuple(
+        (i, private_error_counts[i], int(problem.sizes[i]))
+        for i in range(problem.num_candidates)
+    )
     prior_entries: list[tuple[int, float]] = []
-    for i in range(problem.num_candidates):
-        penalty = float(
-            weights.errors * private_error_counts[i] + weights.size * problem.sizes[i]
-        )
+    for i, private, size in prior_components:
+        penalty = float(weights.errors * private + weights.size * size)
         if penalty > 0:
             prior_entries.append((i, penalty))
 
@@ -316,6 +361,8 @@ def plan_collective_grounding(
         error_atoms=error_atoms,
         targets=targets,
         shards=tuple(shards),
+        prior_components=prior_components,
+        prior_included=tuple(i for i, _ in prior_entries),
     )
 
 
@@ -342,6 +389,207 @@ def ground_collective(
         mrf.variable_index(atom)
     mrf, stats = ground_shards(plan.shards, executor=executor, mrf=mrf)
     return mrf, plan, stats
+
+
+class GroundedCollective:
+    """One selection problem's compiled HL-MRF, with mutable weights.
+
+    The ground-once/reweight-many artifact of the collective selector:
+    structure (variables, coefficients, constraints, shard partition) is
+    fixed at construction; :meth:`reweight` rewrites the per-term
+    weights in place for a new :class:`ObjectiveWeights` — coverage and
+    error-mediator groups uniformly, per-candidate priors through the
+    recorded plan components — and :attr:`solver` reuses one compiled
+    ADMM partition (plus any shared-memory staging) across every
+    reweighted solve.  A reweighted artifact is element-for-element
+    identical to a fresh grounding at the new weights, so solves from it
+    are bit-identical to the re-grounding path.
+
+    :meth:`can_reweight` is the structure guard: weights whose zero
+    pattern differs from the grounding weights' (a component switched
+    on/off, a prior penalty crossing zero) would have produced a
+    *different* structure, and must re-ground instead.
+    """
+
+    def __init__(
+        self,
+        problem: SelectionProblem,
+        settings: CollectiveSettings | None = None,
+        executor: MapExecutor | str | None = None,
+        shard_size: int | None = None,
+    ):
+        settings = settings or CollectiveSettings()
+        self.problem = problem
+        self.squared = bool(settings.squared_hinges)
+        self.mrf, self.plan, self.stats = ground_collective(
+            problem, settings, executor=executor, shard_size=shard_size
+        )
+        self.weights = settings.weights
+        self._admm = settings.admm
+        self._solver: AdmmSolver | None = None
+
+    @property
+    def solver(self) -> AdmmSolver:
+        """The artifact's persistent solver (partition compiled once)."""
+        if self._solver is None:
+            self._solver = AdmmSolver(self.mrf, self._admm)
+        return self._solver
+
+    def solver_for(self, admm: AdmmSettings | None) -> AdmmSolver:
+        """The persistent solver, rebuilt only if *admm* settings differ."""
+        admm = admm if admm is not None else AdmmSettings()
+        if admm != self._admm:
+            self.close()
+            self._admm = admm
+        return self.solver
+
+    def _prior_penalty(self, weights: ObjectiveWeights, private: int, size: int) -> float:
+        # Exactly the planning-time expression (exact Fractions, then
+        # float) so a reweight reproduces a fresh plan bit for bit.
+        return float(weights.errors * private + weights.size * size)
+
+    def can_reweight(self, weights: ObjectiveWeights) -> bool:
+        """Would *weights* ground to this very structure (zero patterns agree)?"""
+        old = self.weights
+        if (old.explains == 0) != (weights.explains == 0):
+            return False
+        if (old.errors == 0) != (weights.errors == 0):
+            return False
+        included = set(self.plan.prior_included)
+        return all(
+            (self._prior_penalty(weights, private, size) > 0) == (i in included)
+            for i, private, size in self.plan.prior_components
+        )
+
+    def reweight(self, weights: ObjectiveWeights) -> None:
+        """Rewrite the grounded term weights for *weights*, in place."""
+        if not self.can_reweight(weights):
+            raise InferenceError(
+                "objective weights change the ground structure (a component "
+                "or prior penalty crossed zero); re-ground instead"
+            )
+        self.mrf.set_group_weights(
+            {
+                GROUP_EXPLAINS: float(weights.explains),
+                GROUP_ERRORS: float(weights.errors),
+            }
+        )
+        included = set(self.plan.prior_included)
+        self.mrf.set_group_potential_weights(
+            GROUP_PRIOR,
+            [
+                self._prior_penalty(weights, private, size)
+                for i, private, size in self.plan.prior_components
+                if i in included
+            ],
+        )
+        self.weights = weights
+
+    def close(self) -> None:
+        """Release solver-held resources (idempotent)."""
+        solver, self._solver = self._solver, None
+        if solver is not None:
+            solver.close()
+
+
+class CollectiveGroundingCache:
+    """A small per-process LRU of :class:`GroundedCollective` artifacts.
+
+    Keyed by problem identity plus the structure-affecting settings
+    (squared hinges, grounding shard size) — *not* by weights: a hit
+    whose weights differ only reweights the cached artifact in place.
+    Entries whose zero pattern no longer matches are evicted and
+    re-ground.  The thread id is part of the key so concurrent solves
+    from different threads never share (and mid-solve reweight) one
+    artifact; entries hold strong problem references, making identity
+    keys collision-safe, and the LRU bound keeps the footprint at a few
+    problems' worth of structure per process.
+
+    Thread-safe: a lock guards the map itself, and LRU eviction only
+    ``close()``\\ es entries the *evicting* thread owns (its own thread
+    id in the key).  An evicted entry owned by another thread may still
+    be mid-solve there, so its resources (shared-memory staging) are
+    left to garbage collection — released when that thread drops its
+    reference — instead of being unlinked out from under a running
+    solve.
+    """
+
+    def __init__(self, capacity: int = 4):
+        self.capacity = capacity
+        self._entries: OrderedDict[tuple, GroundedCollective] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def grounded(
+        self,
+        problem: SelectionProblem,
+        settings: CollectiveSettings | None = None,
+        executor: MapExecutor | str | None = None,
+        shard_size: int | None = None,
+    ) -> GroundedCollective:
+        """A reweighted cached artifact for *problem*, or a fresh ground."""
+        settings = settings or CollectiveSettings()
+        if executor is None:
+            executor = settings.ground_executor
+        if shard_size is None:
+            shard_size = settings.ground_shard_size
+        me = threading.get_ident()
+        key = (me, id(problem), bool(settings.squared_hinges), shard_size)
+        stale = None
+        with self._lock:
+            entry = self._entries.get(key)
+            if (
+                entry is not None
+                and entry.problem is problem
+                and entry.can_reweight(settings.weights)
+            ):
+                self._entries.move_to_end(key)
+                self.hits += 1
+            else:
+                if entry is not None:
+                    stale = self._entries.pop(key)
+                entry = None
+        if stale is not None:
+            stale.close()  # this thread owns the key, so nobody else solves on it
+        if entry is not None:
+            # Reweight outside the lock: the entry is thread-private (the
+            # thread id is in its key), so no other thread can touch it.
+            entry.reweight(settings.weights)
+            return entry
+        fresh = GroundedCollective(  # ground outside the lock, it is slow
+            problem, settings, executor=executor, shard_size=shard_size
+        )
+        evicted: list[tuple[tuple, GroundedCollective]] = []
+        with self._lock:
+            self.misses += 1
+            self._entries[key] = fresh
+            while len(self._entries) > self.capacity:
+                evicted.append(self._entries.popitem(last=False))
+        for evicted_key, evicted_entry in evicted:
+            if evicted_key[0] == me:
+                evicted_entry.close()
+            # Foreign-thread entries: leave release to GC (see class doc).
+        return fresh
+
+    def clear(self) -> None:
+        """Drop (and close) every cached artifact.
+
+        Only call when no thread is solving on a cached artifact (e.g.
+        test teardown); closing releases shared-memory staging.
+        """
+        with self._lock:
+            entries = list(self._entries.values())
+            self._entries.clear()
+            self.hits = self.misses = 0
+        for entry in entries:
+            entry.close()
+
+
+#: Per-process artifact cache consumed by :func:`solve_collective` when
+#: ``CollectiveSettings.reuse_grounding`` is on (the default).  Worker
+#: processes get their own instance, like the engine's scenario cache.
+GROUNDING_CACHE = CollectiveGroundingCache()
 
 
 def build_program(
@@ -393,12 +641,21 @@ def solve_collective(
     warm_start_aux: Mapping[tuple[str, int], float] | None = None,
     ground_executor: MapExecutor | str | None = None,
     ground_shard_size: int | None = None,
+    grounded: GroundedCollective | None = None,
 ) -> CollectiveResult:
     """Run the paper's pipeline: relax, infer with ADMM, round, score.
 
     Grounding runs through :func:`ground_collective` — sharded, on
     *ground_executor* (default: the settings' executor, serial if unset)
     — so huge problems never materialize a monolithic dict-based program.
+    With ``settings.reuse_grounding`` (the default) the grounding is
+    served from the per-process :data:`GROUNDING_CACHE`: a repeated
+    solve of the same problem structure (e.g. the cells of a
+    weight-sweep lane) only *reweights* the cached
+    :class:`GroundedCollective` and re-solves on its compiled ADMM
+    partition — bit-identical to re-grounding, minus the grounding.
+    Pass *grounded* to manage the artifact explicitly (it is reweighted
+    to ``settings.weights`` first).
 
     *warm_start* maps candidate indices to fractional memberships from a
     previous solve (e.g. the neighbouring point of a parameter sweep);
@@ -415,9 +672,20 @@ def solve_collective(
     this problem are ignored.
     """
     settings = settings or CollectiveSettings()
-    mrf, plan, stats = ground_collective(
-        problem, settings, executor=ground_executor, shard_size=ground_shard_size
-    )
+    if grounded is None and settings.reuse_grounding:
+        grounded = GROUNDING_CACHE.grounded(
+            problem, settings, executor=ground_executor, shard_size=ground_shard_size
+        )
+    elif grounded is not None:
+        grounded.reweight(settings.weights)
+    if grounded is not None:
+        mrf, plan, stats = grounded.mrf, grounded.plan, grounded.stats
+        solver = grounded.solver_for(settings.admm)
+    else:
+        mrf, plan, stats = ground_collective(
+            problem, settings, executor=ground_executor, shard_size=ground_shard_size
+        )
+        solver = AdmmSolver(mrf, settings.admm)
 
     start = None
     if warm_start or warm_start_aux:
@@ -435,7 +703,7 @@ def solve_collective(
             if atom is not None:
                 start[mrf.index_of(atom)] = float(value)
 
-    inference = AdmmSolver(mrf, settings.admm).solve(start, warm_state=warm_state)
+    inference = solver.solve(start, warm_state=warm_state)
     x = inference.x
     fractional = {
         i: float(x[mrf.index_of(atom)]) for i, atom in plan.in_atoms.items()

@@ -93,6 +93,72 @@ def test_process_warm_start_waves_match_serial_lanes():
     ]
 
 
+def _weight_grid():
+    from fractions import Fraction
+
+    from repro.selection.objective import ObjectiveWeights
+
+    return [
+        ObjectiveWeights(*(Fraction(w) for w in triple))
+        for triple in (("1", "1", "1"), ("2", "1", "1/2"), ("1/2", "3", "1"))
+    ]
+
+
+def test_weight_sweep_reweights_instead_of_regrounding():
+    from repro.selection.collective import GROUNDING_CACHE
+
+    base = ScenarioConfig(num_primitives=2, rows_per_relation=6, pi_errors=25)
+    engine = EvaluationEngine(methods=("collective",))
+    GROUNDING_CACHE.clear()
+    sweep = engine.weight_sweep(base, _weight_grid(), seeds=(1,))
+    # One grounding for the lane's first cell, reweight-only for the rest.
+    assert GROUNDING_CACHE.misses == 1
+    assert GROUNDING_CACHE.hits == len(_weight_grid()) - 1
+    rows = sweep.mean_f1_rows(["collective", "gold"])
+    assert [row[0] for row in rows] == ["1/1/1", "2/1/0.5", "0.5/3/1"]
+    assert all(len(row) == 3 for row in rows)
+    groups = sweep.cells_by_weight()
+    assert len(groups) == len(_weight_grid())
+    assert all(len(cells) == 2 for _, cells in groups)  # collective + gold
+
+
+def test_weight_sweep_matches_fresh_ground_cells():
+    # Reweight+re-solve must reproduce the re-grounding path cell for
+    # cell (selection, objective, fractional state).
+    from dataclasses import replace as dc_replace
+
+    from repro.selection.collective import CollectiveSettings, solve_collective
+
+    base = ScenarioConfig(num_primitives=2, rows_per_relation=6, pi_errors=25)
+    engine = EvaluationEngine(methods=("collective",), include_gold=False)
+    sweep = engine.weight_sweep(base, _weight_grid(), seeds=(2,))
+    scenario = generate_scenario(dc_replace(base, seed=2))
+    problem = scenario.selection_problem()
+    cold = None
+    for (weights, cells) in sweep.cells_by_weight():
+        fresh = solve_collective(
+            problem,
+            CollectiveSettings(weights=weights, reuse_grounding=False),
+            warm_start=cold.fractional if cold else None,
+            warm_state=cold.admm_state if cold else None,
+            warm_start_aux=cold.fractional_aux if cold else None,
+        )
+        assert cells[0].run.selected == fresh.selected
+        assert cells[0].run.objective == fresh.objective
+        cold = fresh
+
+
+def test_process_weight_sweep_matches_serial():
+    base = ScenarioConfig(num_primitives=2, rows_per_relation=6, pi_errors=25)
+    serial = EvaluationEngine(methods=("collective",))
+    parallel = EvaluationEngine(methods=("collective",), executor="process:2")
+    a = serial.weight_sweep(base, _weight_grid(), seeds=(1, 2))
+    b = parallel.weight_sweep(base, _weight_grid(), seeds=(1, 2))
+    assert [(c.config, c.method, c.run.selected, c.run.objective) for c in a.grid.cells] == [
+        (c.config, c.method, c.run.selected, c.run.objective) for c in b.grid.cells
+    ]
+
+
 def test_warm_payload_roundtrips_through_work_units():
     from repro.evaluation.engine import _run_warm_work_unit
     from repro.selection.collective import WarmStartedCollective

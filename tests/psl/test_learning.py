@@ -74,6 +74,39 @@ def test_weights_respect_floor():
     assert all(w >= 0.05 for w in result.weights.values())
 
 
+def test_learning_grounds_exactly_once_per_call():
+    # The ground-once/reweight-many regression guard: the historical
+    # implementation re-ground ~3x per epoch (solve + two rule_features
+    # calls); the grounded-artifact loop grounds once per *call*.
+    program, label, *_ = _program()
+    truth = {label("a"): 1.0, label("b"): 1.0}
+    assert program.grounding_count == 0
+    result = learn_rule_weights(program, truth, epochs=10, learning_rate=0.5)
+    assert len(result.energy_gaps) > 1  # multiple epochs actually ran
+    assert program.grounding_count == 1
+    learn_rule_weights(program, truth, epochs=5)
+    assert program.grounding_count == 2
+
+
+def test_standalone_rule_features_grounds_once_per_call():
+    program, label, *_ = _program()
+    assignment = {label("a"): 1.0, label("b"): 0.0}
+    rule_features(program, assignment)
+    assert program.grounding_count == 1
+    grounded = program.ground_program()
+    assert program.grounding_count == 2
+    rule_features(program, assignment, grounded=grounded)
+    rule_features(program, assignment, grounded=grounded)
+    assert program.grounding_count == 2  # the artifact is reused
+
+
+def test_learning_rejects_nonpositive_floor():
+    program, label, *_ = _program()
+    truth = {label("a"): 1.0, label("b"): 1.0}
+    with pytest.raises(InferenceError):
+        learn_rule_weights(program, truth, floor=0.0)
+
+
 def test_hard_rules_excluded_from_learning():
     program = PslProgram()
     person = program.predicate("person", 1)

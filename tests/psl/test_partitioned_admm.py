@@ -312,7 +312,11 @@ def test_process_solve_ships_shared_blocks_and_unlinks_after():
         executor.close()
 
 
-def test_shared_segment_released_when_solve_raises():
+def test_shared_segment_released_when_solver_closes_after_raise():
+    # The staging segment is solver-owned and survives a raising solve
+    # (the solver stays usable for a retry / reweighted re-solve);
+    # close() — also run on context exit and garbage collection — is
+    # the leak-free teardown.
     mrf = _collective_mrf()
     executor = _RecordingProcessExecutor(explode=True)
     solver = AdmmSolver(
@@ -320,7 +324,97 @@ def test_shared_segment_released_when_solve_raises():
     )
     with pytest.raises(RuntimeError):
         solver.solve()
-    _assert_unlinked(executor.shared_names)  # leak-free error teardown
+    from repro.psl.partition import _attach_segment
+
+    for name in executor.shared_names:  # still staged while the solver lives
+        assert _attach_segment(name).size >= 8
+    solver.close()
+    _assert_unlinked(executor.shared_names)  # leak-free teardown on close
+
+
+def test_solver_releases_shared_segment_when_garbage_collected():
+    mrf = _collective_mrf()
+    executor = _RecordingProcessExecutor()
+    try:
+        settings = AdmmSettings(
+            max_iterations=2, check_every=2, block_size=64, executor=executor
+        )
+        AdmmSolver(mrf, settings).solve()  # one-shot: solver dies right away
+        _assert_unlinked(executor.shared_names)
+    finally:
+        executor.close()
+
+
+@pytest.mark.parametrize("executor", [None, "thread:2", "process:2"])
+def test_reweight_resolve_bit_identical_to_fresh_ground_and_solve(executor):
+    # The ground-once/reweight-many acceptance contract, measured against
+    # the frozen pre-partitioning solver: reweighting a cached grounding
+    # in place and re-solving must reproduce — bit for bit — the run of
+    # a solver built on a *fresh* grounding at the new weights.
+    from fractions import Fraction
+
+    from repro.selection.collective import GroundedCollective
+    from repro.selection.objective import ObjectiveWeights
+
+    scenario = generate_scenario(
+        ScenarioConfig(
+            num_primitives=4, rows_per_relation=8, pi_errors=50, pi_corresp=50, seed=13
+        )
+    )
+    problem = build_selection_problem(
+        scenario.source, scenario.target, scenario.candidates
+    )
+    grounded = GroundedCollective(
+        problem, CollectiveSettings(), shard_size=8
+    )
+    settings = AdmmSettings(
+        max_iterations=40, check_every=5, block_size=32, executor=executor
+    )
+    solver = AdmmSolver(grounded.mrf, settings)
+    solver.solve()  # prime the compiled partition (and any staging)
+    for triple in (("2", "1", "1/2"), ("1/3", "5", "1"), ("1", "1", "1")):
+        weights = ObjectiveWeights(*(Fraction(w) for w in triple))
+        grounded.reweight(weights)
+        resolved = solver.solve()
+        fresh_mrf, _, _ = ground_collective(
+            problem, CollectiveSettings(weights=weights), shard_size=8
+        )
+        assert mrf_fingerprint(grounded.mrf) == mrf_fingerprint(fresh_mrf)
+        reference = _ReferenceFlatSolver(
+            fresh_mrf, AdmmSettings(max_iterations=40, check_every=5)
+        ).solve()
+        _assert_identical_run(resolved, reference)
+    solver.close()
+
+
+def test_reweight_resolve_with_warm_state_matches_reference_warm_run():
+    # Warm-state reuse across reweighted solves: same trajectory as the
+    # frozen solver restarted from the same state on a fresh grounding.
+    from fractions import Fraction
+
+    from repro.selection.collective import GroundedCollective
+    from repro.selection.objective import ObjectiveWeights
+
+    scenario = generate_scenario(
+        ScenarioConfig(
+            num_primitives=4, rows_per_relation=8, pi_errors=40, pi_corresp=40, seed=5
+        )
+    )
+    problem = build_selection_problem(
+        scenario.source, scenario.target, scenario.candidates
+    )
+    grounded = GroundedCollective(problem, CollectiveSettings(), shard_size=16)
+    settings = AdmmSettings(check_every=1)
+    solver = AdmmSolver(grounded.mrf, settings)
+    state = solver.solve().state
+    weights = ObjectiveWeights(Fraction(3, 2), Fraction(1), Fraction(1, 2))
+    grounded.reweight(weights)
+    warm = solver.solve(warm_state=state)
+    fresh_mrf, _, _ = ground_collective(
+        problem, CollectiveSettings(weights=weights), shard_size=16
+    )
+    reference = _ReferenceFlatSolver(fresh_mrf, settings).solve(warm_state=state)
+    _assert_identical_run(warm, reference)
 
 
 def test_warm_state_with_warm_start_interactions_match_reference():

@@ -22,6 +22,7 @@ from repro.psl.sharding import (
     ground_shards,
     iter_slices,
     mrf_fingerprint,
+    structure_fingerprint,
 )
 from repro.selection.collective import (
     CollectiveSettings,
@@ -168,6 +169,95 @@ def test_term_block_builder_mirrors_mrf_semantics():
         builder.add_potential([(X(0), 1.0)], 0.0, -1.0)
     with pytest.raises(InferenceError):
         builder.add_constraint([], 1.0)
+
+
+def test_structure_fingerprint_weight_independent_across_sweep():
+    # The scenario-cache contract: a weight-only change leaves the
+    # structure fingerprint untouched (the full fingerprint must move).
+    from fractions import Fraction
+
+    from repro.selection.objective import ObjectiveWeights
+
+    ex = paper_example(extra_projects=3)
+    problem = build_selection_problem(ex.source, ex.target, ex.candidates)
+    base, _, _ = ground_collective(problem, CollectiveSettings())
+    reference_structure = structure_fingerprint(base)
+    for triple in (("2", "1", "1"), ("1/2", "3", "1"), ("1", "1", "1/4")):
+        weights = ObjectiveWeights(*(Fraction(w) for w in triple))
+        mrf, _, _ = ground_collective(
+            problem, CollectiveSettings(weights=weights)
+        )
+        assert structure_fingerprint(mrf) == reference_structure
+        assert mrf_fingerprint(mrf) != mrf_fingerprint(base)
+
+
+@pytest.mark.parametrize("executor", ("serial", "thread:2", "process:2"))
+@pytest.mark.parametrize("shard_size", (1, 7, None))
+def test_structure_fingerprint_identical_across_executors_and_shards(
+    executor, shard_size
+):
+    ex = paper_example(extra_projects=3)
+    problem = build_selection_problem(ex.source, ex.target, ex.candidates)
+    reference, _, _ = ground_collective(problem, CollectiveSettings())
+    mrf, _, _ = ground_collective(
+        problem, CollectiveSettings(), executor=executor, shard_size=shard_size
+    )
+    assert structure_fingerprint(mrf) == structure_fingerprint(reference)
+
+
+def test_structure_fingerprint_weight_independent_for_rule_overrides():
+    program = _sample_program()
+    rules = [r for r in program.rules if not r.is_hard]
+    base = program.ground()
+    overridden = program.ground({rules[0]: 4.25})
+    assert structure_fingerprint(base) == structure_fingerprint(overridden)
+    assert mrf_fingerprint(base) != mrf_fingerprint(overridden)
+
+
+def test_structure_fingerprint_agrees_on_zero_weight_rules():
+    # A zero-weight rule contributes no potentials, but both paths must
+    # still agree on the group registry (intern order and the
+    # zero-dropped marker), or equal programs would miss the structure
+    # cache — and a later reweight of the dropped group must raise on
+    # either path instead of silently diverging from a fresh ground.
+    from repro.errors import InferenceError as IE
+
+    def build():
+        program = PslProgram()
+        friend = program.predicate("friend", 2)
+        votes = program.predicate("votes", 2, closed=False)
+        program.rule(
+            [lit(friend, "A", "B")], [lit(votes, "A", "B")], weight=0.0, name="off"
+        )
+        program.rule([lit(votes, "A", "B")], [], weight=1.0, name="prior")
+        program.observe(friend("a", "b"))
+        program.target(votes("a", "b"))
+        return program
+
+    serial = build().ground()
+    sharded = build().ground(shard_size=4)
+    assert structure_fingerprint(serial) == structure_fingerprint(sharded)
+    assert [repr(k) for k in serial.group_keys] == [
+        repr(k) for k in sharded.group_keys
+    ]
+    for mrf in (serial, sharded):
+        off = next(k for k in mrf.group_keys if getattr(k, "name", "") == "off")
+        with pytest.raises(IE):
+            mrf.set_group_weights({off: 1.0})
+
+
+def test_structure_fingerprint_sees_structural_changes():
+    a = HingeLossMRF()
+    a.variable_index(X(0))
+    a.add_potential({X(0): 1.0}, 0.0, weight=1.0, group="g")
+    b = HingeLossMRF()
+    b.variable_index(X(0))
+    b.add_potential({X(0): 1.0}, 0.5, weight=1.0, group="g")  # offset differs
+    c = HingeLossMRF()
+    c.variable_index(X(0))
+    c.add_potential({X(0): 1.0}, 0.0, weight=1.0, group="other")  # group differs
+    assert structure_fingerprint(a) != structure_fingerprint(b)
+    assert structure_fingerprint(a) != structure_fingerprint(c)
 
 
 def test_fingerprint_distinguishes_repr_colliding_atoms():
