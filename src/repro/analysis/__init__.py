@@ -1,0 +1,30 @@
+"""repro-lint: AST checks for the invariants the codebase lives by.
+
+See docs/lint.md for the rules (RPL001–RPL005), suppression syntax,
+and baseline-ratchet workflow.  Entry points: ``repro lint`` (CLI) or
+:func:`repro.analysis.runner.lint_paths` (in-process, as the self-clean
+meta-test uses).
+"""
+
+from repro.analysis.baseline import Baseline, BaselineEntry, baseline_from_findings
+from repro.analysis.checkers import ALL_RULES, Checker, default_checkers
+from repro.analysis.findings import Finding
+from repro.analysis.reporting import LintReport, render_json, render_text
+from repro.analysis.runner import lint_paths, lint_sources
+from repro.analysis.visitor import ModuleInfo
+
+__all__ = [
+    "ALL_RULES",
+    "Baseline",
+    "BaselineEntry",
+    "Checker",
+    "Finding",
+    "LintReport",
+    "ModuleInfo",
+    "baseline_from_findings",
+    "default_checkers",
+    "lint_paths",
+    "lint_sources",
+    "render_json",
+    "render_text",
+]

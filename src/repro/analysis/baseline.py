@@ -1,0 +1,128 @@
+"""Committed lint baseline with ratchet semantics.
+
+The baseline file (``lint-baseline.json`` at the repo root) records,
+per ``(file, rule)``, how many findings are grandfathered.  The runner
+marks up to that many matching findings as baselined; anything beyond
+the recorded count is *new* and fails the run.  Fixing a grandfathered
+site therefore never breaks the build, while introducing one does —
+the count only ratchets down.
+
+Counts are keyed on ``(file, rule)`` rather than exact line numbers so
+unrelated edits that shift lines don't invalidate the baseline.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.findings import Finding, normalize_path
+
+BASELINE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    file: str
+    rule: str
+    count: int
+    note: str = ""
+
+    def to_json(self) -> dict:
+        payload = {"file": self.file, "rule": self.rule, "count": self.count}
+        if self.note:
+            payload["note"] = self.note
+        return payload
+
+
+def _same_file(entry_file: str, finding_path: str) -> bool:
+    """Suffix-tolerant path match so cwd-relative invocations still hit."""
+    a = normalize_path(entry_file)
+    b = normalize_path(finding_path)
+    return a == b or a.endswith("/" + b) or b.endswith("/" + a)
+
+
+@dataclass
+class Baseline:
+    entries: list[BaselineEntry] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        if payload.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"unsupported baseline version: {payload.get('version')!r}"
+            )
+        entries = [
+            BaselineEntry(
+                file=normalize_path(item["file"]),
+                rule=item["rule"],
+                count=int(item["count"]),
+                note=item.get("note", ""),
+            )
+            for item in payload.get("entries", [])
+        ]
+        return cls(entries=entries)
+
+    def save(self, path: str | Path) -> None:
+        payload = {
+            "version": BASELINE_VERSION,
+            "entries": [entry.to_json() for entry in self.entries],
+        }
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=False) + "\n",
+            encoding="utf-8",
+        )
+
+    def note_for(self, file: str, rule: str) -> str:
+        for entry in self.entries:
+            if entry.rule == rule and _same_file(entry.file, file):
+                return entry.note
+        return ""
+
+    def apply(self, findings: list[Finding]) -> tuple[list[Finding], list[Finding]]:
+        """Split *findings* into (new, baselined), consuming entry counts."""
+        budgets: dict[int, int] = {
+            idx: entry.count for idx, entry in enumerate(self.entries)
+        }
+        new: list[Finding] = []
+        grandfathered: list[Finding] = []
+        for finding in sorted(findings, key=lambda f: (f.path, f.line, f.rule)):
+            consumed = False
+            for idx, entry in enumerate(self.entries):
+                if budgets[idx] <= 0:
+                    continue
+                if entry.rule == finding.rule and _same_file(entry.file, finding.path):
+                    budgets[idx] -= 1
+                    consumed = True
+                    break
+            if consumed:
+                grandfathered.append(
+                    Finding(
+                        rule=finding.rule,
+                        message=finding.message,
+                        path=finding.path,
+                        line=finding.line,
+                        col=finding.col,
+                        baselined=True,
+                    )
+                )
+            else:
+                new.append(finding)
+        return new, grandfathered
+
+
+def baseline_from_findings(
+    findings: list[Finding], previous: Baseline | None = None
+) -> Baseline:
+    """Aggregate current findings into entries, keeping existing notes."""
+    counts: dict[tuple[str, str], int] = {}
+    for finding in findings:
+        key = (finding.path, finding.rule)
+        counts[key] = counts.get(key, 0) + 1
+    entries = []
+    for (file, rule), count in sorted(counts.items()):
+        note = previous.note_for(file, rule) if previous else ""
+        entries.append(BaselineEntry(file=file, rule=rule, count=count, note=note))
+    return Baseline(entries=entries)

@@ -1,0 +1,541 @@
+"""The five repro-lint rules.
+
+Each rule encodes an invariant this codebase already relies on (see
+docs/lint.md for the incident history behind every one):
+
+* RPL001 — callables shipped to process pools must be module-level.
+* RPL002 — fingerprint/merge/selection paths must not iterate unordered
+  containers or call seed-dependent ``hash()``.
+* RPL003 — ``SharedMemory(create=True)`` needs a driver-owned release;
+  ``unlink()`` belongs only in recognized release paths.
+* RPL004 — executor initializers must carry the ``scope`` hook.
+* RPL005 — no blocking pool operations while holding a registry lock.
+
+Checkers are per-module (:meth:`Checker.check`), with an optional
+cross-module :meth:`Checker.finalize` for whole-codebase facts (RPL004
+needs to see every ``fn.scope = ...`` assignment before judging any
+``initializer=fn`` site).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.findings import Finding
+from repro.analysis.visitor import (
+    COMPREHENSION_NODES,
+    ModuleInfo,
+    ancestors,
+    call_keyword,
+    enclosing_class,
+    enclosing_function,
+    parent,
+    statements_of,
+    terminal_name,
+)
+
+
+class Checker:
+    """Base class: one rule ID, per-module checks, optional finalize."""
+
+    rule = "RPL000"
+    name = "base"
+    description = ""
+    #: fnmatch patterns limiting which modules the rule applies to
+    #: (``None`` means every module).
+    scope_patterns: tuple[str, ...] | None = None
+
+    def applies_to(self, module: ModuleInfo) -> bool:
+        if self.scope_patterns is None:
+            return True
+        return module.matches(self.scope_patterns)
+
+    def check(self, module: ModuleInfo) -> list[Finding]:
+        raise NotImplementedError
+
+    def finalize(self) -> list[Finding]:
+        """Called once after every module was checked."""
+        return []
+
+    def finding(
+        self, module: ModuleInfo, node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            rule=self.rule,
+            message=message,
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+        )
+
+
+def _is_executor_receiver(expr: ast.AST) -> bool:
+    name = terminal_name(expr)
+    return name is not None and "executor" in name.lower()
+
+
+def _describe_callable(expr: ast.AST) -> str:
+    if isinstance(expr, ast.Lambda):
+        return "a lambda"
+    if isinstance(expr, ast.Attribute):
+        return f"bound method '{expr.attr}'"
+    if isinstance(expr, ast.Name):
+        return f"'{expr.id}'"
+    return "a non-module-level callable"
+
+
+class ProcessMapSafetyChecker(Checker):
+    """RPL001: work units shipped to executors must pickle by reference.
+
+    Flags lambdas, nested-function names, and bound methods passed as
+    the callable to ``<executor>.map(...)`` or as ``initializer=`` to
+    executor/pool constructors.  ``functools.partial`` over a
+    module-level function is accepted (that is the codebase's idiom for
+    pre-binding shared arguments, e.g. ``metrics.build_selection_problem``).
+    """
+
+    rule = "RPL001"
+    name = "process-map-safety"
+    description = "callables sent to process pools must be module-level"
+    #: constructor names that look like pools but never pickle their
+    #: initializer (thread pools run it in-process).
+    callee_allowlist = frozenset({"ThreadPoolExecutor", "ThreadExecutor"})
+
+    def check(self, module: ModuleInfo) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            findings.extend(self._check_map_call(module, node))
+            findings.extend(self._check_initializer_kwarg(module, node))
+        return findings
+
+    def _check_map_call(self, module: ModuleInfo, call: ast.Call):
+        if not (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr == "map"
+            and _is_executor_receiver(call.func.value)
+        ):
+            return
+        if call.args:
+            yield from self._judge_callable(
+                module, call, call.args[0], context="executor.map"
+            )
+
+    def _check_initializer_kwarg(self, module: ModuleInfo, call: ast.Call):
+        callee = terminal_name(call.func)
+        if callee is None or callee in self.callee_allowlist:
+            return
+        looks_like_pool = (
+            "executor" in callee.lower()
+            or "pool" in callee.lower()
+            or (isinstance(call.func, ast.Attribute) and call.func.attr == "map")
+        )
+        if not looks_like_pool:
+            return
+        kw = call_keyword(call, "initializer")
+        if kw is not None and kw.value is not None:
+            yield from self._judge_callable(
+                module, call, kw.value, context=f"initializer= of {callee}"
+            )
+
+    def _judge_callable(
+        self, module: ModuleInfo, call: ast.Call, expr: ast.AST, context: str
+    ):
+        # functools.partial(fn, ...) is fine iff fn itself is fine.
+        if isinstance(expr, ast.Call) and terminal_name(expr.func) == "partial":
+            if expr.args:
+                yield from self._judge_callable(module, call, expr.args[0], context)
+            return
+        if isinstance(expr, ast.Lambda):
+            yield self.finding(
+                module,
+                expr,
+                f"lambda passed to {context}; process pools pickle work "
+                "units by reference — use a module-level function",
+            )
+            return
+        if isinstance(expr, ast.Attribute):
+            yield self.finding(
+                module,
+                expr,
+                f"bound method {_describe_callable(expr)} passed to {context}; "
+                "bound methods drag their instance through pickle — use a "
+                "module-level function taking explicit arguments",
+            )
+            return
+        if isinstance(expr, ast.Name):
+            if module.is_module_level_callable(expr.id):
+                return
+            scope = enclosing_function(call)
+            if scope is None:
+                return
+            if expr.id in module.local_function_defs(scope):
+                yield self.finding(
+                    module,
+                    expr,
+                    f"nested function '{expr.id}' passed to {context}; "
+                    "closures cannot be pickled — hoist it to module level",
+                )
+                return
+            for value in module.local_bindings(scope).get(expr.id, []):
+                if isinstance(value, ast.Lambda):
+                    yield self.finding(
+                        module,
+                        expr,
+                        f"'{expr.id}' is a lambda passed to {context}; "
+                        "use a module-level function",
+                    )
+                    return
+        # Anything else (parameters, attributes of data we can't see)
+        # is beyond static reach: stay silent rather than cry wolf.
+
+
+def _sorted_wraps(node: ast.AST) -> bool:
+    """True when the iteration result is immediately canonically ordered."""
+    enclosing = parent(node)
+    if isinstance(enclosing, ast.Call):
+        callee = terminal_name(enclosing.func)
+        return callee in {"sorted", "min", "max", "sum", "len", "any", "all"}
+    return False
+
+
+class DeterminismChecker(Checker):
+    """RPL002: no unordered iteration / seed-dependent hash() in
+    fingerprint, merge, grounding, and selection-planning modules.
+
+    Set/frozenset iteration order depends on the per-process hash seed,
+    so anything derived from it (fingerprints, tie-breaks, merged
+    orderings) silently differs across workers.  ``hash()`` of
+    str/bytes is seed-dependent for the same reason.  Dict iteration is
+    insertion-ordered in Python 3.7+ and is deliberately *not* flagged.
+    """
+
+    rule = "RPL002"
+    name = "determinism"
+    description = "no unordered iteration or hash() in deterministic paths"
+    scope_patterns = (
+        "*repro/psl/*.py",
+        "*repro/selection/*.py",
+        "*repro/homomorphism/*.py",
+    )
+    #: attributes/methods known to return unordered containers.
+    unordered_attrs = frozenset({"atoms_of", "facts_of"})
+    #: attribute named ``targets`` is a frozenset only on Database
+    #: receivers (``plan.targets`` is an ordered tuple — not flagged).
+    frozenset_attr_receivers = {"targets": ("database",)}
+
+    def check(self, module: ModuleInfo) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.For):
+                findings.extend(self._check_iter(module, node, node.iter))
+            elif isinstance(node, COMPREHENSION_NODES):
+                for gen in node.generators:
+                    findings.extend(self._check_iter(module, node, gen.iter))
+            elif isinstance(node, ast.Call):
+                findings.extend(self._check_hash(module, node))
+        return findings
+
+    def _check_hash(self, module: ModuleInfo, call: ast.Call):
+        if isinstance(call.func, ast.Name) and call.func.id == "hash":
+            yield self.finding(
+                module,
+                call,
+                "built-in hash() is salted per process (PYTHONHASHSEED); "
+                "use the canonical JSON fingerprints "
+                "(sharding.mrf_fingerprint / structure_fingerprint) instead",
+            )
+
+    def _check_iter(self, module: ModuleInfo, node: ast.AST, iter_expr: ast.AST):
+        reason = self._unordered_reason(module, node, iter_expr)
+        if reason is None:
+            return
+        if _sorted_wraps(node):
+            return
+        yield self.finding(
+            module,
+            iter_expr,
+            f"iteration over {reason} has hash-seed-dependent order; "
+            "sort with an explicit key (or iterate an insertion-ordered "
+            "view) before anything fingerprinted, merged, or tie-broken",
+        )
+
+    def _unordered_reason(
+        self, module: ModuleInfo, node: ast.AST, iter_expr: ast.AST
+    ) -> str | None:
+        if isinstance(iter_expr, ast.Call):
+            callee = terminal_name(iter_expr.func)
+            if callee in {"set", "frozenset"}:
+                return f"{callee}(...)"
+            if callee in self.unordered_attrs:
+                return f"the unordered result of .{callee}(...)"
+            return None
+        if isinstance(iter_expr, ast.Attribute):
+            receivers = self.frozenset_attr_receivers.get(iter_expr.attr)
+            if receivers:
+                receiver = terminal_name(iter_expr.value) or ""
+                if any(tag in receiver.lower() for tag in receivers):
+                    return f"the frozenset attribute .{iter_expr.attr}"
+            return None
+        if isinstance(iter_expr, ast.Name):
+            scope = enclosing_function(node) or module.tree
+            for value in module.local_bindings(scope).get(iter_expr.id, []):
+                if (
+                    isinstance(value, ast.Call)
+                    and terminal_name(value.func) in {"set", "frozenset"}
+                ):
+                    return f"'{iter_expr.id}' (assigned from set(...))"
+                if isinstance(value, ast.SetComp):
+                    return f"'{iter_expr.id}' (a set comprehension)"
+        return None
+
+
+class SharedMemoryLifecycleChecker(Checker):
+    """RPL003: every ``SharedMemory(create=True)`` needs an owner.
+
+    Only modules importing ``multiprocessing.shared_memory`` are in
+    scope, which keeps ``pathlib.Path.unlink`` out of reach.  A create
+    site must sit inside a class exposing a ``release``/``close``
+    method or inside a ``try/finally``; ``unlink()`` may only appear in
+    a recognized release-path function.
+    """
+
+    rule = "RPL003"
+    name = "shared-memory-lifecycle"
+    description = "SharedMemory(create=True) must have a driver-owned release"
+    release_owners = frozenset({"release", "close", "cleanup", "unlink", "__exit__"})
+
+    def applies_to(self, module: ModuleInfo) -> bool:
+        return module.imports_module("multiprocessing.shared_memory")
+
+    def check(self, module: ModuleInfo) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            findings.extend(self._check_create(module, node))
+            findings.extend(self._check_unlink(module, node))
+        return findings
+
+    def _check_create(self, module: ModuleInfo, call: ast.Call):
+        if terminal_name(call.func) != "SharedMemory":
+            return
+        kw = call_keyword(call, "create")
+        if kw is None or not (
+            isinstance(kw.value, ast.Constant) and kw.value.value is True
+        ):
+            return
+        if self._inside_try_finally(call):
+            return
+        owner = enclosing_class(call)
+        if owner is not None and self._class_has_release(owner):
+            return
+        yield self.finding(
+            module,
+            call,
+            "SharedMemory(create=True) without a driver-owned release: "
+            "allocate inside a class exposing release()/close(), or wrap "
+            "in try/finally — leaked segments survive the process",
+        )
+
+    def _check_unlink(self, module: ModuleInfo, call: ast.Call):
+        if not (isinstance(call.func, ast.Attribute) and call.func.attr == "unlink"):
+            return
+        # Path.unlink(missing_ok=...) is filesystem, not shared memory.
+        if call_keyword(call, "missing_ok") is not None:
+            return
+        func = enclosing_function(call)
+        if func is not None and func.name in self.release_owners:
+            return
+        if self._inside_try_finally(call):
+            return
+        yield self.finding(
+            module,
+            call,
+            "unlink() outside a recognized release path "
+            f"({'/'.join(sorted(self.release_owners))}); shared-memory "
+            "teardown must stay driver-owned so workers never race the "
+            "segment away",
+        )
+
+    @staticmethod
+    def _inside_try_finally(node: ast.AST) -> bool:
+        for anc in ancestors(node):
+            if isinstance(anc, ast.Try) and anc.finalbody:
+                return True
+        return False
+
+    @staticmethod
+    def _class_has_release(cls_node: ast.ClassDef) -> bool:
+        for stmt in cls_node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if stmt.name in SharedMemoryLifecycleChecker.release_owners:
+                    return True
+        return False
+
+
+class InitializerScopeChecker(Checker):
+    """RPL004: worker initializers must expose the ``scope`` hook.
+
+    ``executors.initializer_scope`` runs ``initializer.scope(*initargs)``
+    as a context manager on the serial fallback path; an initializer
+    without a ``scope`` attribute silently skips resource setup there.
+    The check is cross-module: sites are collected per module, and the
+    set of ``fn.scope = ...`` assignments anywhere in the codebase is
+    consulted in :meth:`finalize`.
+    """
+
+    rule = "RPL004"
+    name = "initializer-scope"
+    description = "initializer= functions must have a .scope hook"
+
+    def __init__(self) -> None:
+        #: (module, call node, function name) for every initializer site.
+        self._sites: list[tuple[ModuleInfo, ast.Call, str]] = []
+        #: function names that get ``.scope`` assigned somewhere.
+        self._scoped_names: set[str] = set()
+
+    def check(self, module: ModuleInfo) -> list[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Assign):
+                self._record_scope_assignment(node)
+            elif isinstance(node, ast.Call):
+                self._record_initializer_site(module, node)
+        return []
+
+    def _record_scope_assignment(self, assign: ast.Assign) -> None:
+        for target in assign.targets:
+            if isinstance(target, ast.Attribute) and target.attr == "scope":
+                owner = terminal_name(target.value)
+                if owner:
+                    self._scoped_names.add(owner)
+
+    def _record_initializer_site(self, module: ModuleInfo, call: ast.Call) -> None:
+        kw = call_keyword(call, "initializer")
+        if kw is None or kw.value is None:
+            return
+        value = kw.value
+        name = None
+        if isinstance(value, ast.Name):
+            # Only judge names we can resolve statically: module-level
+            # functions and imports.  Parameters/locals forwarding an
+            # initializer (e.g. sharding.ground_shards) are out of reach.
+            if module.is_module_level_callable(value.id):
+                name = value.id
+        elif isinstance(value, ast.Attribute):
+            name = value.attr
+        if name is not None:
+            self._sites.append((module, call, name))
+
+    def finalize(self) -> list[Finding]:
+        findings = []
+        for module, call, name in self._sites:
+            if name in self._scoped_names:
+                continue
+            findings.append(
+                self.finding(
+                    module,
+                    call,
+                    f"initializer '{name}' has no .scope attribute assigned "
+                    "anywhere; executors.initializer_scope needs it to set "
+                    "up worker state on the serial fallback path (see "
+                    "program.install_shared_database for the pattern)",
+                )
+            )
+        return findings
+
+
+class LockHoldChecker(Checker):
+    """RPL005: no blocking pool operations while holding a lock.
+
+    Within ``with <lock>:`` blocks (any context manager whose terminal
+    name contains "lock" or "mutex"), calls to blocking executor/pool
+    operations are flagged.  ``close`` counts only with ``force=`` —
+    a forced close joins workers, a plain close just flips a flag.
+    """
+
+    rule = "RPL005"
+    name = "lock-hold-discipline"
+    description = "no blocking pool calls under a registry lock"
+    default_blocklist = frozenset(
+        {"shutdown", "map", "unlink", "join", "result", "wait", "solve",
+         "ground", "reweight"}
+    )
+
+    def __init__(self, blocklist: frozenset[str] | None = None) -> None:
+        self.blocklist = (
+            frozenset(blocklist) if blocklist is not None else self.default_blocklist
+        )
+
+    def check(self, module: ModuleInfo) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.With, ast.AsyncWith)):
+                continue
+            if not self._holds_lock(node):
+                continue
+            findings.extend(self._scan_body(module, node))
+        return findings
+
+    @staticmethod
+    def _holds_lock(node) -> bool:
+        for item in node.items:
+            name = terminal_name(item.context_expr)
+            if name and ("lock" in name.lower() or "mutex" in name.lower()):
+                return True
+        return False
+
+    @staticmethod
+    def _calls_of(stmt: ast.AST):
+        """Call nodes in *stmt*'s own expressions, not its sub-statements
+        (those are yielded separately by :func:`statements_of`)."""
+        for field_name, value in ast.iter_fields(stmt):
+            if field_name in ("body", "orelse", "finalbody", "handlers"):
+                continue
+            exprs = value if isinstance(value, list) else [value]
+            for expr in exprs:
+                if not isinstance(expr, ast.AST):
+                    continue
+                for node in ast.walk(expr):
+                    if isinstance(node, ast.Call):
+                        yield node
+
+    def _scan_body(self, module: ModuleInfo, with_node):
+        for stmt in statements_of(with_node):
+            for node in self._calls_of(stmt):
+                if not isinstance(node.func, ast.Attribute):
+                    continue
+                attr = node.func.attr
+                if attr in self.blocklist:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"blocking call .{attr}(...) while holding a lock; "
+                        "collect work under the lock, release it, then "
+                        "block (see the PR 5 cache-eviction hardening)",
+                    )
+                elif attr == "close" and call_keyword(node, "force") is not None:
+                    yield self.finding(
+                        module,
+                        node,
+                        "close(force=...) joins workers while holding a "
+                        "lock; move the forced close outside the critical "
+                        "section",
+                    )
+
+
+def default_checkers() -> list[Checker]:
+    """Fresh checker instances (RPL004 carries cross-module state)."""
+    return [
+        ProcessMapSafetyChecker(),
+        DeterminismChecker(),
+        SharedMemoryLifecycleChecker(),
+        InitializerScopeChecker(),
+        LockHoldChecker(),
+    ]
+
+
+ALL_RULES = {
+    checker.rule: checker.description for checker in default_checkers()
+}

@@ -1,0 +1,73 @@
+"""Text and JSON reporters for repro-lint results."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.analysis.findings import Finding
+
+REPORT_VERSION = 1
+TOOL_NAME = "repro-lint"
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced, pre-partitioned by the runner."""
+
+    new: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    suppressed_count: int = 0
+    files_scanned: int = 0
+    parse_errors: list[str] = field(default_factory=list)
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.new or self.parse_errors else 0
+
+    def rule_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for finding in self.new:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def to_json(self) -> dict:
+        return {
+            "version": REPORT_VERSION,
+            "tool": TOOL_NAME,
+            "files_scanned": self.files_scanned,
+            "summary": {
+                "new": len(self.new),
+                "baselined": len(self.baselined),
+                "suppressed": self.suppressed_count,
+                "by_rule": self.rule_counts(),
+            },
+            "parse_errors": list(self.parse_errors),
+            "findings": [
+                f.to_json()
+                for f in sorted(
+                    self.new + self.baselined,
+                    key=lambda f: (f.path, f.line, f.rule),
+                )
+            ],
+        }
+
+
+def render_json(report: LintReport) -> str:
+    return json.dumps(report.to_json(), indent=2) + "\n"
+
+
+def render_text(report: LintReport) -> str:
+    lines: list[str] = []
+    for error in report.parse_errors:
+        lines.append(f"error: {error}")
+    for finding in sorted(report.new, key=lambda f: (f.path, f.line, f.rule)):
+        lines.append(str(finding))
+    summary = (
+        f"{TOOL_NAME}: {len(report.new)} finding(s) "
+        f"({len(report.baselined)} baselined, "
+        f"{report.suppressed_count} suppressed) "
+        f"in {report.files_scanned} file(s)"
+    )
+    lines.append(summary)
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,68 @@
+"""Inline suppression comments for repro-lint.
+
+Syntax, anywhere in a line's trailing comment::
+
+    ...  # repro-lint: disable=RPL002
+    ...  # repro-lint: disable=RPL001,RPL005
+    ...  # repro-lint: disable          (all rules)
+
+A suppression applies to findings reported on its own physical line.
+A line that is *only* a suppression comment instead covers the first
+code line below it (skipping further comment lines), so long statements
+can carry the pragma — and its justification — above them::
+
+    # repro-lint: disable=RPL002 -- canonical sort happens downstream,
+    # see ground_rule().
+    for atom in database.atoms_of(literal.predicate):
+"""
+
+from __future__ import annotations
+
+import re
+
+_PRAGMA = re.compile(
+    r"#\s*repro-lint:\s*disable(?:=(?P<rules>[A-Z0-9,\s]+))?",
+)
+
+#: Sentinel rule set meaning "every rule".
+ALL_RULES = frozenset({"*"})
+
+
+def parse_suppressions(lines) -> dict[int, frozenset[str]]:
+    """Map 1-based line number -> rule IDs suppressed on that line."""
+    lines = list(lines)
+    table: dict[int, frozenset[str]] = {}
+
+    def shield(lineno: int, rules: frozenset[str]) -> None:
+        table[lineno] = table.get(lineno, frozenset()) | rules
+
+    for lineno, text in enumerate(lines, start=1):
+        match = _PRAGMA.search(text)
+        if not match:
+            continue
+        raw = match.group("rules")
+        if raw is None:
+            rules = ALL_RULES
+        else:
+            rules = frozenset(
+                token for token in (t.strip() for t in raw.split(",")) if token
+            )
+            if not rules:
+                rules = ALL_RULES
+        shield(lineno, rules)
+        # A comment-only pragma shields the first code line below it,
+        # skipping over the rest of its own comment block.
+        if text.strip().startswith("#"):
+            nxt = lineno  # 0-based index of the following line
+            while nxt < len(lines) and lines[nxt].strip().startswith("#"):
+                shield(nxt + 1, rules)
+                nxt += 1
+            shield(nxt + 1, rules)
+    return table
+
+
+def is_suppressed(table: dict[int, frozenset[str]], line: int, rule: str) -> bool:
+    rules = table.get(line)
+    if not rules:
+        return False
+    return "*" in rules or rule in rules

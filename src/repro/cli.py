@@ -8,7 +8,9 @@ Commands:
 * ``weight-sweep`` — objective-weight sweep on a fixed scenario (the
   ground-once/reweight-many path: one grounding per lane, every further
   cell reweights and re-solves);
-* ``demo``     — the paper's running example with its appendix objective table.
+* ``demo``     — the paper's running example with its appendix objective table;
+* ``lint``     — the repro-lint static-analysis pass (docs/lint.md): exits
+  0 when clean against the baseline, 1 on findings, 2 on usage errors.
 """
 
 from __future__ import annotations
@@ -176,6 +178,43 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     sub.add_parser("demo", help="the paper's running example")
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the repro-lint invariant checkers (RPL001-RPL005)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="stdout report format",
+    )
+    lint.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline JSON path (default: lint-baseline.json when present)",
+    )
+    lint.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline: report every finding as new",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite the baseline from the current findings and exit 0",
+    )
+    lint.add_argument(
+        "--output",
+        default=None,
+        help="also write the JSON report to this file (any --format)",
+    )
     return parser
 
 
@@ -378,12 +417,58 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis.baseline import Baseline, baseline_from_findings
+    from repro.analysis.reporting import render_json, render_text
+    from repro.analysis.runner import lint_paths
+
+    baseline = None
+    baseline_path = args.baseline
+    if args.no_baseline:
+        baseline_path = None
+    elif baseline_path is None and Path("lint-baseline.json").is_file():
+        baseline_path = "lint-baseline.json"
+    if baseline_path is not None:
+        try:
+            baseline = Baseline.load(baseline_path)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"repro lint: cannot load baseline {baseline_path}: {exc}",
+                  file=sys.stderr)
+            return 2
+
+    try:
+        report = lint_paths(args.paths, baseline=baseline)
+    except FileNotFoundError as exc:
+        print(f"repro lint: no such file or directory: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        target = args.baseline or "lint-baseline.json"
+        updated = baseline_from_findings(
+            report.new + report.baselined, previous=baseline
+        )
+        updated.save(target)
+        print(f"wrote {target}: {len(updated.entries)} entr(y/ies)")
+        return 0
+
+    if args.output:
+        Path(args.output).write_text(render_json(report), encoding="utf-8")
+    if args.format == "json":
+        sys.stdout.write(render_json(report))
+    else:
+        sys.stdout.write(render_text(report))
+    return report.exit_code
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "select": _cmd_select,
     "sweep": _cmd_sweep,
     "weight-sweep": _cmd_weight_sweep,
     "demo": _cmd_demo,
+    "lint": _cmd_lint,
 }
 
 

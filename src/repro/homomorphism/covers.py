@@ -44,7 +44,9 @@ class CoverComputer:
         self._j = target_example
         self._facts_with_null: dict[LabeledNull, list[Fact]] = {}
         for f in chase_instance:
-            for n in set(f.nulls):
+            # dict.fromkeys dedups while keeping first-appearance order,
+            # so _facts_with_null's key order is chase-order stable.
+            for n in dict.fromkeys(f.nulls):
                 self._facts_with_null.setdefault(n, []).append(f)
         self._corroboration_cache: dict[tuple[Fact, LabeledNull, Value], bool] = {}
 
@@ -80,6 +82,8 @@ class CoverComputer:
     def degree(self, target_fact: Fact) -> Fraction:
         """Best cover degree of *target_fact* over all chase facts (the paper's covers)."""
         best = Fraction(0)
+        # repro-lint: disable=RPL002 -- max over all chase facts with a
+        # strict improvement test: the result is order-independent.
         for chase_fact in self._chase.facts_of(target_fact.relation):
             d = self.degree_via(chase_fact, target_fact)
             if d > best:

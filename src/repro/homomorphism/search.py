@@ -51,6 +51,8 @@ def fact_homomorphisms(
 
     Yields the null bindings (excluding the entries of *fixed*).
     """
+    # repro-lint: disable=RPL002 -- existential enumeration: callers
+    # consume all bindings or test emptiness, never the order.
     for candidate in instance.facts_of(f.relation):
         binding = fact_matches(f, candidate, fixed)
         if binding is not None:
@@ -83,6 +85,8 @@ def find_homomorphism(
         if index == len(facts):
             return dict(binding)
         f = facts[index]
+        # repro-lint: disable=RPL002 -- backtracking existence search:
+        # any satisfying homomorphism is as good as any other.
         for candidate in target.facts_of(f.relation):
             local = fact_matches(f, candidate, binding)
             if local is None:

@@ -68,6 +68,8 @@ def substitutions(rule: Rule, database: Database) -> Iterator[dict[RuleVariable,
                 yield dict(sub)
             return
         literal = ordered[index]
+        # repro-lint: disable=RPL002 -- match order is irrelevant: every
+        # substitution is enumerated and ground_rule() sorts canonically.
         for atom in database.atoms_of(literal.predicate):
             new = _match_literal(literal, atom, sub)
             if new is None:

@@ -106,7 +106,7 @@ def learn_rule_weights(
             solved = grounded.solve()
             prediction = {
                 atom: float(solved.x[mrf.index_of(atom)])
-                for atom in program.database.targets
+                for atom in program.database.targets_in_order
             }
             phi_prediction = grounded.rule_features(prediction)
             phi_truth = grounded.rule_features(truth)

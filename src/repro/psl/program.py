@@ -440,7 +440,8 @@ class PslProgram:
                     pass
         result = AdmmSolver(mrf, settings).solve(start, warm_state=warm_state)
         assignment = {
-            atom: float(result.x[mrf.index_of(atom)]) for atom in self.database.targets
+            atom: float(result.x[mrf.index_of(atom)])
+            for atom in self.database.targets_in_order
         }
         return InferenceResult(
             assignment=assignment,
@@ -535,7 +536,7 @@ class GroundedProgram:
     def assignment_vector(self, assignment: Mapping[GroundAtom, float]) -> np.ndarray:
         """A full MRF-variable vector from a per-target-atom assignment."""
         x = np.empty(self.mrf.num_variables)
-        for atom in self.program.database.targets:
+        for atom in self.program.database.targets_in_order:
             try:
                 x[self.mrf.index_of(atom)] = assignment[atom]
             except KeyError:

@@ -32,7 +32,9 @@ def solve_greedy(
         improved = False
         best_delta = None
         best_candidate = None
-        for i in remaining:
+        # sorted(): ties on delta break toward the lowest candidate
+        # index instead of set order, keeping picks reproducible.
+        for i in sorted(remaining):
             delta = inc.delta_add(i)
             if delta < 0 and (best_delta is None or delta < best_delta):
                 best_delta = delta

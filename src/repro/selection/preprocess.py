@@ -54,6 +54,8 @@ def drop_certain_unexplained(
         return problem, Fraction(0), []
     kept_facts = [t for t in problem.j_facts if t not in inert]
     target = problem.target.copy()
+    # repro-lint: disable=RPL002 -- discard() is commutative and the
+    # returned dropped-facts list is sorted below.
     for t in inert:
         target.discard(t)
     reduced = SelectionProblem(

@@ -1,0 +1,459 @@
+"""Per-rule fixtures: each checker gets a true positive and a
+legitimate near-miss that must stay silent."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis.runner import lint_sources
+
+
+def rules_hit(sources, rule=None):
+    report = lint_sources(sources)
+    assert report.parse_errors == []
+    found = [f for f in report.new if rule is None or f.rule == rule]
+    return found
+
+
+def src(text):
+    return textwrap.dedent(text).lstrip("\n")
+
+
+class TestRPL001ProcessMapSafety:
+    def test_lambda_to_executor_map_is_flagged(self):
+        hits = rules_hit(
+            {
+                "repro/selection/work.py": src(
+                    """
+                    def run(executor, items):
+                        return executor.map(lambda x: x + 1, items)
+                    """
+                )
+            },
+            "RPL001",
+        )
+        assert len(hits) == 1 and "lambda" in hits[0].message
+
+    def test_bound_method_to_executor_map_is_flagged(self):
+        hits = rules_hit(
+            {
+                "repro/selection/work.py": src(
+                    """
+                    class Driver:
+                        def run(self, executor, items):
+                            return executor.map(self._work, items)
+                    """
+                )
+            },
+            "RPL001",
+        )
+        assert len(hits) == 1 and "bound method" in hits[0].message
+
+    def test_nested_function_is_flagged(self):
+        hits = rules_hit(
+            {
+                "repro/selection/work.py": src(
+                    """
+                    def run(executor, items):
+                        def work(x):
+                            return x + 1
+                        return executor.map(work, items)
+                    """
+                )
+            },
+            "RPL001",
+        )
+        assert len(hits) == 1 and "nested function" in hits[0].message
+
+    def test_lambda_initializer_on_process_pool_is_flagged(self):
+        hits = rules_hit(
+            {
+                "repro/psl/pool.py": src(
+                    """
+                    from repro.executors import ProcessExecutor
+
+                    def build(db):
+                        return ProcessExecutor(initializer=lambda: db)
+                    """
+                )
+            },
+            "RPL001",
+        )
+        assert len(hits) == 1
+
+    def test_module_level_function_and_partial_are_clean(self):
+        hits = rules_hit(
+            {
+                "repro/selection/work.py": src(
+                    """
+                    from functools import partial
+
+                    def work(state, x):
+                        return x + 1
+
+                    def run(executor, items, state):
+                        executor.map(work, items)
+                        return executor.map(partial(work, state), items)
+                    """
+                )
+            },
+            "RPL001",
+        )
+        assert hits == []
+
+    def test_thread_pool_initializer_is_exempt(self):
+        hits = rules_hit(
+            {
+                "repro/pool.py": src(
+                    """
+                    from concurrent.futures import ThreadPoolExecutor
+
+                    class Runner:
+                        def start(self):
+                            self._pool = ThreadPoolExecutor(
+                                max_workers=2, initializer=self._register
+                            )
+                    """
+                )
+            },
+            "RPL001",
+        )
+        assert hits == []
+
+
+class TestRPL002Determinism:
+    def test_set_iteration_in_scope_module_is_flagged(self):
+        hits = rules_hit(
+            {
+                "repro/psl/fake.py": src(
+                    """
+                    def fingerprint(items):
+                        out = []
+                        for x in set(items):
+                            out.append(x)
+                        return out
+                    """
+                )
+            },
+            "RPL002",
+        )
+        assert len(hits) == 1 and hits[0].line == 3
+
+    def test_database_targets_comprehension_is_flagged(self):
+        hits = rules_hit(
+            {
+                "repro/psl/fake.py": src(
+                    """
+                    def assignment(self, mrf, x):
+                        return {a: x[mrf.index_of(a)] for a in self.database.targets}
+                    """
+                )
+            },
+            "RPL002",
+        )
+        assert len(hits) == 1
+
+    def test_hash_builtin_is_flagged(self):
+        hits = rules_hit(
+            {
+                "repro/psl/fake.py": src(
+                    """
+                    def key(name):
+                        return hash(name)
+                    """
+                )
+            },
+            "RPL002",
+        )
+        assert len(hits) == 1 and "PYTHONHASHSEED" in hits[0].message
+
+    def test_sorted_wrapped_set_is_clean(self):
+        hits = rules_hit(
+            {
+                "repro/psl/fake.py": src(
+                    """
+                    def fingerprint(items):
+                        return [x for x in sorted(set(items))]
+                    """
+                )
+            },
+            "RPL002",
+        )
+        assert hits == []
+
+    def test_ordered_plan_targets_tuple_is_clean(self):
+        # plan.targets is an insertion-ordered tuple; only Database
+        # receivers expose an unordered .targets.
+        hits = rules_hit(
+            {
+                "repro/selection/fake.py": src(
+                    """
+                    def walk(plan):
+                        for atom in plan.targets:
+                            yield atom
+                    """
+                )
+            },
+            "RPL002",
+        )
+        assert hits == []
+
+    def test_out_of_scope_module_is_clean(self):
+        hits = rules_hit(
+            {
+                "repro/evaluation/fake.py": src(
+                    """
+                    def dedup(items):
+                        for x in set(items):
+                            yield x
+                    """
+                )
+            },
+            "RPL002",
+        )
+        assert hits == []
+
+
+SHM_IMPORT = "from multiprocessing.shared_memory import SharedMemory\n"
+
+
+class TestRPL003SharedMemoryLifecycle:
+    def test_unowned_create_is_flagged(self):
+        hits = rules_hit(
+            {
+                "repro/psl/seg.py": SHM_IMPORT
+                + src(
+                    """
+                    def allocate(size):
+                        return SharedMemory(create=True, size=size)
+                    """
+                )
+            },
+            "RPL003",
+        )
+        assert len(hits) == 1 and "create=True" in hits[0].message
+
+    def test_unlink_outside_release_path_is_flagged(self):
+        hits = rules_hit(
+            {
+                "repro/psl/seg.py": SHM_IMPORT
+                + src(
+                    """
+                    def teardown(segment):
+                        segment.unlink()
+                    """
+                )
+            },
+            "RPL003",
+        )
+        assert len(hits) == 1
+
+    def test_create_inside_owning_class_is_clean(self):
+        hits = rules_hit(
+            {
+                "repro/psl/seg.py": SHM_IMPORT
+                + src(
+                    """
+                    class Buffers:
+                        def __init__(self, size):
+                            self._segment = SharedMemory(create=True, size=size)
+
+                        def release(self):
+                            self._segment.close()
+                            self._segment.unlink()
+                    """
+                )
+            },
+            "RPL003",
+        )
+        assert hits == []
+
+    def test_create_under_try_finally_is_clean(self):
+        hits = rules_hit(
+            {
+                "repro/psl/seg.py": SHM_IMPORT
+                + src(
+                    """
+                    def scratch(size):
+                        segment = None
+                        try:
+                            segment = SharedMemory(create=True, size=size)
+                            return bytes(segment.buf)
+                        finally:
+                            if segment is not None:
+                                segment.close()
+                                segment.unlink()
+                    """
+                )
+            },
+            "RPL003",
+        )
+        assert hits == []
+
+    def test_module_without_shared_memory_import_is_out_of_scope(self):
+        hits = rules_hit(
+            {
+                "repro/evaluation/files.py": src(
+                    """
+                    def cleanup(tmp):
+                        tmp.unlink(missing_ok=True)
+
+                    def drop(tmp):
+                        tmp.unlink()
+                    """
+                )
+            },
+            "RPL003",
+        )
+        assert hits == []
+
+
+class TestRPL004InitializerScope:
+    def test_initializer_without_scope_hook_is_flagged(self):
+        hits = rules_hit(
+            {
+                "repro/psl/boot.py": src(
+                    """
+                    def install(db):
+                        global _DB
+                        _DB = db
+
+                    def launch(executor_cls, db):
+                        return executor_cls(initializer=install, initargs=(db,))
+                    """
+                )
+            },
+            "RPL004",
+        )
+        assert len(hits) == 1 and "'install'" in hits[0].message
+
+    def test_scope_assignment_in_another_module_clears_it(self):
+        hits = rules_hit(
+            {
+                "repro/psl/boot.py": src(
+                    """
+                    def install(db):
+                        global _DB
+                        _DB = db
+
+                    def launch(executor_cls, db):
+                        return executor_cls(initializer=install, initargs=(db,))
+                    """
+                ),
+                "repro/psl/hooks.py": src(
+                    """
+                    from repro.psl.boot import install
+                    from contextlib import contextmanager
+
+                    @contextmanager
+                    def shared(db):
+                        yield
+
+                    install.scope = shared
+                    """
+                ),
+            },
+            "RPL004",
+        )
+        assert hits == []
+
+    def test_forwarded_parameter_initializer_is_skipped(self):
+        # sharding.ground_shards unpacks (init_fn, init_args) from a
+        # parameter; static analysis cannot judge it and must not guess.
+        hits = rules_hit(
+            {
+                "repro/psl/fwd.py": src(
+                    """
+                    def ground(executor, shards, initializer):
+                        init_fn, init_args = initializer
+                        return executor.map(
+                            tuple, shards, initializer=init_fn, initargs=init_args
+                        )
+                    """
+                )
+            },
+            "RPL004",
+        )
+        assert hits == []
+
+
+class TestRPL005LockHoldDiscipline:
+    def test_shutdown_under_lock_is_flagged(self):
+        hits = rules_hit(
+            {
+                "repro/executors_fake.py": src(
+                    """
+                    class Registry:
+                        def evict(self, pool):
+                            with self._lock:
+                                pool.shutdown(wait=True)
+                    """
+                )
+            },
+            "RPL005",
+        )
+        assert len(hits) == 1 and ".shutdown" in hits[0].message
+
+    def test_forced_close_under_lock_is_flagged(self):
+        hits = rules_hit(
+            {
+                "repro/cache.py": src(
+                    """
+                    def evict(lock, handle):
+                        with lock:
+                            handle.close(force=True)
+                    """
+                )
+            },
+            "RPL005",
+        )
+        assert len(hits) == 1 and "close(force=" in hits[0].message
+
+    def test_collect_then_block_outside_lock_is_clean(self):
+        # The PR 5 hardening shape: only bookkeeping under the lock.
+        hits = rules_hit(
+            {
+                "repro/cache.py": src(
+                    """
+                    def evict(lock, cache):
+                        with lock:
+                            victims = list(cache.pop_expired())
+                        for handle in victims:
+                            handle.close(force=True)
+                        return victims
+                    """
+                )
+            },
+            "RPL005",
+        )
+        assert hits == []
+
+    def test_plain_close_under_lock_is_clean(self):
+        hits = rules_hit(
+            {
+                "repro/cache.py": src(
+                    """
+                    def evict(lock, handle):
+                        with lock:
+                            handle.close()
+                    """
+                )
+            },
+            "RPL005",
+        )
+        assert hits == []
+
+    def test_non_lock_context_manager_is_clean(self):
+        hits = rules_hit(
+            {
+                "repro/cache.py": src(
+                    """
+                    def run(pool, session):
+                        with session:
+                            pool.shutdown(wait=True)
+                    """
+                )
+            },
+            "RPL005",
+        )
+        assert hits == []

@@ -1,0 +1,105 @@
+"""`repro lint` CLI contract: exit codes 0/1/2, reports, baseline flags."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.cli import main
+
+CLEAN = "def work(x):\n    return x + 1\n"
+
+VIOLATION = textwrap.dedent(
+    """
+    def run(executor, items):
+        return executor.map(lambda x: x + 1, items)
+    """
+).lstrip("\n")
+
+
+def write(tmp_path, name, text):
+    path = tmp_path / name
+    path.write_text(text, encoding="utf-8")
+    return path
+
+
+def test_exit_0_on_clean_tree(tmp_path, capsys):
+    target = write(tmp_path, "clean.py", CLEAN)
+    assert main(["lint", str(target), "--no-baseline"]) == 0
+    out = capsys.readouterr().out
+    assert "0 finding(s)" in out
+
+
+def test_exit_1_on_findings(tmp_path, capsys):
+    target = write(tmp_path, "bad.py", VIOLATION)
+    assert main(["lint", str(target), "--no-baseline"]) == 1
+    out = capsys.readouterr().out
+    assert "RPL001" in out
+
+
+def test_exit_2_on_missing_path(capsys):
+    assert main(["lint", "no/such/path.py"]) == 2
+    assert "no such file" in capsys.readouterr().err
+
+
+def test_exit_2_on_unloadable_baseline(tmp_path, capsys):
+    target = write(tmp_path, "clean.py", CLEAN)
+    assert main(["lint", str(target), "--baseline", str(tmp_path / "nope.json")]) == 2
+    assert "cannot load baseline" in capsys.readouterr().err
+
+
+def test_usage_error_exits_2():
+    with pytest.raises(SystemExit) as excinfo:
+        main(["lint", "--format", "yaml"])
+    assert excinfo.value.code == 2
+
+
+def test_json_format_and_output_file(tmp_path, capsys):
+    target = write(tmp_path, "bad.py", VIOLATION)
+    out_file = tmp_path / "lint.json"
+    code = main(
+        ["lint", str(target), "--no-baseline", "--format", "json",
+         "--output", str(out_file)]
+    )
+    assert code == 1
+    stdout_payload = json.loads(capsys.readouterr().out)
+    file_payload = json.loads(out_file.read_text(encoding="utf-8"))
+    assert stdout_payload == file_payload
+    assert file_payload["summary"]["new"] == 1
+    assert file_payload["findings"][0]["rule"] == "RPL001"
+
+
+def test_output_file_written_even_with_text_format(tmp_path, capsys):
+    target = write(tmp_path, "bad.py", VIOLATION)
+    out_file = tmp_path / "lint.json"
+    main(["lint", str(target), "--no-baseline", "--output", str(out_file)])
+    capsys.readouterr()
+    assert json.loads(out_file.read_text(encoding="utf-8"))["tool"] == "repro-lint"
+
+
+def test_write_baseline_then_ratchet(tmp_path, capsys):
+    target = write(tmp_path, "bad.py", VIOLATION)
+    baseline = tmp_path / "baseline.json"
+
+    # Capture the current findings as the baseline...
+    assert main(
+        ["lint", str(target), "--baseline", str(baseline), "--write-baseline",
+         "--no-baseline"]
+    ) == 0
+    capsys.readouterr()
+
+    # ...after which the same tree is green...
+    assert main(["lint", str(target), "--baseline", str(baseline)]) == 0
+    capsys.readouterr()
+
+    # ...but one more violation of the same rule still fails.
+    write(
+        tmp_path,
+        "bad.py",
+        VIOLATION + "\n\ndef again(executor, items):\n"
+        "    return executor.map(lambda x: x - 1, items)\n",
+    )
+    assert main(["lint", str(target), "--baseline", str(baseline)]) == 1
+    assert "RPL001" in capsys.readouterr().out

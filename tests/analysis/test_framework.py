@@ -1,0 +1,182 @@
+"""Framework-layer tests: suppressions, baseline ratchet, reporters."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.baseline import (
+    Baseline,
+    BaselineEntry,
+    baseline_from_findings,
+)
+from repro.analysis.findings import Finding
+from repro.analysis.reporting import LintReport, render_json, render_text
+from repro.analysis.runner import lint_sources
+from repro.analysis.suppressions import is_suppressed, parse_suppressions
+from repro.analysis.visitor import ModuleInfo
+
+
+def finding(rule="RPL002", path="src/repro/psl/x.py", line=3, message="m"):
+    return Finding(rule=rule, message=message, path=path, line=line)
+
+
+class TestSuppressionParsing:
+    def test_trailing_pragma_rule_scoped(self):
+        table = parse_suppressions(
+            ["x = 1", "y = hash(x)  # repro-lint: disable=RPL002"]
+        )
+        assert is_suppressed(table, 2, "RPL002")
+        assert not is_suppressed(table, 2, "RPL001")
+        assert not is_suppressed(table, 1, "RPL002")
+
+    def test_multiple_rules_in_one_pragma(self):
+        table = parse_suppressions(["f()  # repro-lint: disable=RPL001,RPL005"])
+        assert is_suppressed(table, 1, "RPL001")
+        assert is_suppressed(table, 1, "RPL005")
+        assert not is_suppressed(table, 1, "RPL002")
+
+    def test_bare_disable_covers_all_rules(self):
+        table = parse_suppressions(["f()  # repro-lint: disable"])
+        for rule in ("RPL001", "RPL002", "RPL003", "RPL004", "RPL005"):
+            assert is_suppressed(table, 1, rule)
+
+    def test_comment_only_pragma_shields_next_code_line(self):
+        table = parse_suppressions(
+            [
+                "# repro-lint: disable=RPL002 -- reason",
+                "for x in s:",
+            ]
+        )
+        assert is_suppressed(table, 2, "RPL002")
+
+    def test_comment_block_pragma_skips_to_first_code_line(self):
+        table = parse_suppressions(
+            [
+                "# repro-lint: disable=RPL002 -- a long",
+                "# justification over two lines.",
+                "for x in s:",
+            ]
+        )
+        assert is_suppressed(table, 3, "RPL002")
+        assert not is_suppressed(table, 4, "RPL002")
+
+    def test_unrelated_comments_do_not_suppress(self):
+        table = parse_suppressions(["# just a note", "for x in s:"])
+        assert table == {}
+
+
+class TestBaselineRatchet:
+    def test_grandfathered_within_count(self):
+        baseline = Baseline([BaselineEntry("src/repro/psl/x.py", "RPL002", 1)])
+        new, old = baseline.apply([finding()])
+        assert new == []
+        assert len(old) == 1 and old[0].baselined
+
+    def test_excess_findings_are_new(self):
+        baseline = Baseline([BaselineEntry("src/repro/psl/x.py", "RPL002", 1)])
+        new, old = baseline.apply([finding(line=3), finding(line=9)])
+        assert len(new) == 1 and len(old) == 1
+
+    def test_rule_mismatch_is_new(self):
+        baseline = Baseline([BaselineEntry("src/repro/psl/x.py", "RPL001", 1)])
+        new, old = baseline.apply([finding(rule="RPL002")])
+        assert len(new) == 1 and old == []
+
+    def test_path_suffix_matching_tolerates_invocation_dir(self):
+        baseline = Baseline([BaselineEntry("src/repro/psl/x.py", "RPL002", 1)])
+        new, old = baseline.apply(
+            [finding(path="/abs/checkout/src/repro/psl/x.py")]
+        )
+        assert new == [] and len(old) == 1
+
+    def test_fixing_a_site_never_fails(self):
+        baseline = Baseline([BaselineEntry("src/repro/psl/x.py", "RPL002", 5)])
+        new, old = baseline.apply([])
+        assert new == [] and old == []
+
+    def test_roundtrip_and_note_preserved(self, tmp_path):
+        original = Baseline(
+            [BaselineEntry("a.py", "RPL004", 1, note="thread pool")]
+        )
+        path = tmp_path / "baseline.json"
+        original.save(path)
+        loaded = Baseline.load(path)
+        assert loaded.entries == original.entries
+        regenerated = baseline_from_findings(
+            [finding(rule="RPL004", path="a.py")], previous=loaded
+        )
+        assert regenerated.entries[0].note == "thread pool"
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "entries": []}))
+        with pytest.raises(ValueError):
+            Baseline.load(path)
+
+
+class TestReporters:
+    def _report(self):
+        return LintReport(
+            new=[finding(line=7)],
+            baselined=[
+                Finding("RPL004", "m", "src/repro/e.py", 1, baselined=True)
+            ],
+            suppressed_count=2,
+            files_scanned=4,
+        )
+
+    def test_json_schema(self):
+        payload = json.loads(render_json(self._report()))
+        assert payload["version"] == 1
+        assert payload["tool"] == "repro-lint"
+        assert payload["files_scanned"] == 4
+        assert payload["summary"] == {
+            "new": 1,
+            "baselined": 1,
+            "suppressed": 2,
+            "by_rule": {"RPL002": 1},
+        }
+        assert payload["parse_errors"] == []
+        assert len(payload["findings"]) == 2
+        for item in payload["findings"]:
+            assert set(item) == {
+                "rule", "message", "file", "line", "col", "baselined",
+            }
+        flags = {item["rule"]: item["baselined"] for item in payload["findings"]}
+        assert flags == {"RPL002": False, "RPL004": True}
+
+    def test_text_report_lists_new_findings_and_summary(self):
+        text = render_text(self._report())
+        assert "src/repro/psl/x.py:7:0: RPL002 m" in text
+        assert "1 finding(s) (1 baselined, 2 suppressed) in 4 file(s)" in text
+
+    def test_exit_codes(self):
+        assert LintReport().exit_code == 0
+        assert LintReport(new=[finding()]).exit_code == 1
+        assert LintReport(parse_errors=["x.py: bad"]).exit_code == 1
+
+
+class TestRunner:
+    def test_suppressed_findings_are_counted_not_reported(self):
+        report = lint_sources(
+            {
+                "repro/psl/mod.py": (
+                    "for x in set(items):  # repro-lint: disable=RPL002\n"
+                    "    pass\n"
+                )
+            }
+        )
+        assert report.new == []
+        assert report.suppressed_count == 1
+
+    def test_syntax_error_becomes_parse_error(self):
+        report = lint_sources({"repro/psl/broken.py": "def f(:\n"})
+        assert report.exit_code == 1
+        assert "broken.py" in report.parse_errors[0]
+
+    def test_module_info_scope_matching(self):
+        module = ModuleInfo.from_source("src/repro/psl/sharding.py", "x = 1\n")
+        assert module.matches(("*repro/psl/*.py",))
+        assert not module.matches(("*repro/selection/*.py",))
