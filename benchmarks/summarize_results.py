@@ -39,6 +39,14 @@ def _fmt_speedup(value: float) -> str:
     return f"{value:.1f}×"
 
 
+def _fmt_bytes(value: float) -> str:
+    if value >= 1024 * 1024:
+        return f"{value / (1024 * 1024):.2f} MiB"
+    if value >= 1024:
+        return f"{value / 1024:.2f} KiB"
+    return f"{value:.0f} B"
+
+
 def _rows_sharded_grounding(data: dict) -> list[list[str]]:
     return [
         [
@@ -73,6 +81,20 @@ def _rows_partitioned_admm(data: dict) -> list[list[str]]:
             _fmt_seconds(data["flat_sec_per_iter"]),
             _fmt_seconds(data["threaded_sec_per_iter"]),
             _fmt_speedup(data["thread_speedup_vs_flat"]),
+        ]
+    ]
+
+
+def _rows_admm_ipc(data: dict) -> list[list[str]]:
+    return [
+        [
+            "ADMM per-iteration IPC",
+            f"v/x slice payloads vs shared-state acks "
+            f"({data.get('num_blocks', '?')} blocks, "
+            f"{data.get('num_copies', '?')} copies, bytes per iteration)",
+            _fmt_bytes(data["legacy_bytes_per_iter"]),
+            _fmt_bytes(data["shared_bytes_per_iter"]),
+            _fmt_speedup(data["ipc_reduction"]),
         ]
     ]
 
@@ -116,6 +138,7 @@ KNOWN_ARTIFACTS = {
     "sharded_grounding.json": _rows_sharded_grounding,
     "parallel_engine_build.json": _rows_parallel_engine,
     "partitioned_admm.json": _rows_partitioned_admm,
+    "admm_ipc.json": _rows_admm_ipc,
     "persistent_pool.json": _rows_persistent_pool,
     "reweight.json": _rows_reweight,
 }

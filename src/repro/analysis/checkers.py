@@ -297,14 +297,25 @@ class SharedMemoryLifecycleChecker(Checker):
     Only modules importing ``multiprocessing.shared_memory`` are in
     scope, which keeps ``pathlib.Path.unlink`` out of reach.  A create
     site must sit inside a class exposing a ``release``/``close``
-    method or inside a ``try/finally``; ``unlink()`` may only appear in
-    a recognized release-path function.
+    method — its own, or inherited from a recognized segment-owner base
+    (the ``SharedSegmentOwner`` hierarchy in ``repro.psl.partition``:
+    ``SharedPartitionBuffers`` and ``SharedSolveState`` allocate in
+    ``__init__`` and inherit the one real release) — or inside a
+    ``try/finally``; ``unlink()`` may only appear in a recognized
+    release-path function.
     """
 
     rule = "RPL003"
     name = "shared-memory-lifecycle"
     description = "SharedMemory(create=True) must have a driver-owned release"
     release_owners = frozenset({"release", "close", "cleanup", "unlink", "__exit__"})
+    #: Class names whose instances own their segment's lifecycle even
+    #: when release()/close() is inherited rather than defined in the
+    #: class body (AST checking is single-module; base-class bodies may
+    #: live elsewhere, so ownership is recognized by name).
+    segment_owner_classes = frozenset(
+        {"SharedSegmentOwner", "SharedPartitionBuffers", "SharedSolveState"}
+    )
 
     def applies_to(self, module: ModuleInfo) -> bool:
         return module.imports_module("multiprocessing.shared_memory")
@@ -366,11 +377,16 @@ class SharedMemoryLifecycleChecker(Checker):
                 return True
         return False
 
-    @staticmethod
-    def _class_has_release(cls_node: ast.ClassDef) -> bool:
+    @classmethod
+    def _class_has_release(cls, cls_node: ast.ClassDef) -> bool:
+        if cls_node.name in cls.segment_owner_classes:
+            return True
+        for base in cls_node.bases:
+            if terminal_name(base) in cls.segment_owner_classes:
+                return True
         for stmt in cls_node.body:
             if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                if stmt.name in SharedMemoryLifecycleChecker.release_owners:
+                if stmt.name in cls.release_owners:
                     return True
         return False
 

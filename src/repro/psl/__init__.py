@@ -17,6 +17,7 @@ from repro.psl.partition import (
     BlockArrays,
     SharedBlockArrays,
     SharedPartitionBuffers,
+    SharedSolveState,
     TermPartition,
     build_partition,
 )
@@ -49,6 +50,7 @@ __all__ = [
     "BlockArrays",
     "SharedBlockArrays",
     "SharedPartitionBuffers",
+    "SharedSolveState",
     "AdmmSolver",
     "AdmmWarmState",
     "Database",

@@ -32,6 +32,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.errors import InferenceError
 from repro.executors import (
     MapExecutor,
     ProcessExecutor,
@@ -41,8 +42,10 @@ from repro.executors import (
 from repro.psl.hlmrf import HingeLossMRF
 from repro.psl.partition import (
     SharedPartitionBuffers,
+    SharedSolveState,
     TermPartition,
     apply_block_x_update,
+    apply_shared_solve_update,
     block_x_update,
     build_partition,
 )
@@ -57,10 +60,11 @@ class AdmmSettings:
     parallelism: blocks share the consensus state in memory and the
     numpy-heavy steps release the GIL), or ``"process[:N]"``
     (multi-core parallelism: a *persistent* worker pool reused across
-    the per-iteration maps, with the block CSR arrays placed once in
-    ``multiprocessing.shared_memory`` so each iteration ships only the
-    small ``v`` slices — equivalence-tested bit-identical to serial).
-    Use string specs when the settings
+    the per-iteration maps, with the block CSR arrays *and* the live
+    consensus state placed once in ``multiprocessing.shared_memory`` so
+    each iteration ships only O(num_blocks) bytes of
+    ``(name, index, rho, generation)`` payloads — equivalence-tested
+    bit-identical to serial).  Use string specs when the settings
     object must stay picklable inside engine work units.  ``block_size``
     overrides the grounding-recorded partition with uniform runs of that
     many terms; ``None`` keeps the shard structure the MRF carries.
@@ -75,6 +79,24 @@ class AdmmSettings:
     check_every: int = 10
     executor: MapExecutor | str | None = None
     block_size: int | None = None
+
+    def validate(self) -> None:
+        """Reject settings that would crash or loop forever mid-solve.
+
+        Checked at solver construction so a bad knob fails fast with a
+        clear message instead of, e.g., a ``ZeroDivisionError`` at the
+        ``iteration % check_every`` convergence gate deep in a solve.
+        """
+        if self.rho <= 0:
+            raise InferenceError(f"rho must be > 0, got {self.rho}")
+        if self.max_iterations < 0:
+            raise InferenceError(
+                f"max_iterations must be >= 0, got {self.max_iterations}"
+            )
+        if self.check_every < 1:
+            raise InferenceError(
+                f"check_every must be >= 1, got {self.check_every}"
+            )
 
 
 @dataclass
@@ -124,6 +146,30 @@ class AdmmResult:
     state: AdmmWarmState | None = None
 
 
+def _convergence(
+    x_local: np.ndarray,
+    z: np.ndarray,
+    z_old: np.ndarray,
+    var: np.ndarray,
+    rho: float,
+    settings: AdmmSettings,
+) -> tuple[float, float, bool]:
+    """Residuals and tolerance verdict of the current iterate.
+
+    The one shared definition of the stopping criterion (Boyd et al.'s
+    combined absolute/relative epsilon), used both at the scheduled
+    ``check_every`` gate and to report final residuals when the loop
+    exits between checks.
+    """
+    z_var = z[var]
+    primal = float(np.linalg.norm(x_local - z_var))
+    dual = float(rho * np.linalg.norm((z - z_old)[var]))
+    eps = settings.epsilon_abs * np.sqrt(len(var)) + settings.epsilon_rel * max(
+        float(np.linalg.norm(x_local)), float(np.linalg.norm(z_var))
+    )
+    return primal, dual, primal < eps and dual < eps
+
+
 class AdmmSolver:
     """Block-partitioned consensus-ADMM solver for one HL-MRF.
 
@@ -148,10 +194,12 @@ class AdmmSolver:
     def __init__(self, mrf: HingeLossMRF, settings: AdmmSettings | None = None):
         self._mrf = mrf
         self._settings = settings or AdmmSettings()
+        self._settings.validate()
         self._partition = build_partition(mrf, self._settings.block_size)
         self._executor = resolve_executor(self._settings.executor)
         self._weights_version = mrf.weights_version
         self._shared: SharedPartitionBuffers | None = None
+        self._solve_state: SharedSolveState | None = None
 
     @property
     def partition(self) -> TermPartition:
@@ -167,6 +215,9 @@ class AdmmSolver:
 
     def close(self) -> None:
         """Release the solver's shared-memory staging (idempotent)."""
+        state, self._solve_state = self._solve_state, None
+        if state is not None:
+            state.release()
         shared, self._shared = self._shared, None
         if shared is not None:
             shared.release()
@@ -198,48 +249,84 @@ class AdmmSolver:
         u: np.ndarray,
         x_local: np.ndarray,
         rho: float,
-        shared: SharedPartitionBuffers | None = None,
+        generation: int,
+        state: SharedSolveState | None = None,
     ) -> None:
         """Run every block's x-update, scattering into *x_local*.
 
         Blocks own disjoint slices of the copy range, so scattering the
         mapped results back is race-free and order-independent; the
-        executor only changes where the arithmetic runs.  With *shared*
-        (the calling solve's staging buffers, on a process-backed
-        executor) the mapped payloads carry
-        :class:`~repro.psl.partition.SharedBlockArrays` descriptors
-        instead of the block arrays themselves, so each iteration ships
-        only the ``v`` slices.
+        executor only changes where the arithmetic runs.  With *state*
+        (the solver's shared solve state, on a multi-worker process
+        executor) *z*, *u*, and *x_local* are views into the shared
+        segment: the mapped payloads are ``(name, index, rho,
+        generation)`` tuples, workers compute their own ``v`` slice and
+        write ``x`` in place, and the results are acks — nothing
+        problem-sized crosses the process boundary.
         """
         partition = self._partition
+        if state is not None:
+            name = state.name
+            payloads = [
+                (name, index, rho, generation)
+                for index in range(partition.num_blocks)
+            ]
+            for _ack in self._executor.map(apply_shared_solve_update, payloads):
+                pass  # drain: the map barrier is the iteration barrier
+            return
         if isinstance(self._executor, SerialExecutor) or partition.num_blocks <= 1:
             for block in partition.blocks:
                 sl = block.copy_slice
                 x_local[sl] = block_x_update(block, z[block.var] - u[sl], rho)
             return
-        payload_blocks = shared.blocks if shared is not None else partition.blocks
+        # Thread executors (and any custom in-process MapExecutor) share
+        # the driver's memory natively: ship the raw blocks.
         payloads = [
-            (payload, z[block.var] - u[block.copy_slice], rho)
-            for payload, block in zip(payload_blocks, partition.blocks)
+            (block, z[block.var] - u[block.copy_slice], rho)
+            for block in partition.blocks
         ]
         results = self._executor.map(apply_block_x_update, payloads)
         for x_block, block in zip(results, partition.blocks):
             x_local[block.copy_slice] = x_block
 
-    def _wants_shared_blocks(self) -> bool:
-        """Should this solve stage the block arrays in shared memory?
+    def _wants_shared_state(self) -> bool:
+        """Should this solve run on shared-memory consensus state?
 
         Only a multi-worker process executor benefits: its per-iteration
-        maps would otherwise pickle every block's CSR arrays into the
-        pool on each of thousands of iterations.  Thread/serial
-        executors share memory natively, and a single-worker process
-        executor falls back to in-driver execution anyway.
+        maps would otherwise pickle every block's ``v`` slice out and
+        ``x`` block back on every iteration.  Thread/serial executors
+        share memory natively, and a single-worker process executor
+        falls back to in-driver execution anyway.
         """
         return (
             isinstance(self._executor, ProcessExecutor)
             and self._executor.max_workers > 1
             and self._partition.num_blocks > 1
         )
+
+    def _ensure_shared_state(self) -> SharedSolveState | None:
+        """Stage (or reuse) this solver's shared-memory solve state.
+
+        Both segments are solver-owned and kept across solves: re-solves
+        of the same structure (weight sweeps, learning epochs) reuse the
+        staged block arrays and consensus buffers — weight changes write
+        through in :meth:`_sync_weights` — and :meth:`close` /
+        ``__del__`` unlinks them, so a one-shot
+        ``AdmmSolver(mrf).solve()`` still releases promptly when the
+        solver object dies, even if a solve raised.  If the block
+        staging had to be rebuilt, the solve state is rebuilt with it
+        (its manifest embeds the block descriptors by segment name).
+        """
+        if not self._wants_shared_state():
+            return None
+        if self._shared is None or self._shared.released:
+            self._shared = SharedPartitionBuffers(self._partition)
+            if self._solve_state is not None:
+                self._solve_state.release()
+                self._solve_state = None
+        if self._solve_state is None or self._solve_state.released:
+            self._solve_state = SharedSolveState(self._partition, self._shared.blocks)
+        return self._solve_state
 
     def solve(
         self,
@@ -287,39 +374,40 @@ class AdmmSolver:
 
         var = partition.var
         u = warm_state.u.astype(np.float64).copy() if use_state else np.zeros(copies)
-        x_local = z[var].copy()
+
+        state = self._ensure_shared_state()
+        if state is not None:
+            # Rebind the working arrays to the shared-segment views: the
+            # whole loop below then runs in place on memory the pool
+            # workers see directly, and nothing per-iteration is pickled.
+            np.copyto(state.z, z)
+            z = state.z
+            np.copyto(state.u, u)
+            u = state.u
+            x_local = state.x_buffer(0)
+            np.copyto(x_local, z[var])
+        else:
+            x_local = z[var].copy()
         scratch = np.empty(copies)
+        z_old = z.copy()
         rho = settings.rho
         primal = dual = float("inf")
         iteration = 0
         converged = False
-        z_old = z
         checked_at = -1
 
-        # Stage the (structure-constant) block arrays in shared memory for
-        # process-mapped local updates.  Solver-owned and kept across
-        # solves: re-solves of the same structure (weight sweeps, learning
-        # epochs) reuse the staged segment — weight changes write through
-        # in _sync_weights — and close()/__del__ unlinks it, so a
-        # one-shot ``AdmmSolver(mrf).solve()`` still releases promptly
-        # when the solver object dies, even if a solve raised.
-        shared = None
-        if self._wants_shared_blocks():
-            if self._shared is None or self._shared.released:
-                self._shared = SharedPartitionBuffers(partition)
-            shared = self._shared
         for iteration in range(1, settings.max_iterations + 1):
             # --- local updates: x_local = v - lambda[term] * a, per block
-            self._local_updates(z, u, x_local, rho, shared)
+            if state is not None:
+                x_local = state.x_buffer(iteration)
+            self._local_updates(z, u, x_local, rho, iteration, state)
 
             # --- consensus update: gather every block's copies --------
             np.add(x_local, u, out=scratch)
-            z_old = z
-            z = np.clip(
-                np.bincount(var, weights=scratch, minlength=n) / partition.degree,
-                0.0,
-                1.0,
-            )
+            np.copyto(z_old, z)
+            zsum = np.bincount(var, weights=scratch, minlength=n)
+            zsum /= partition.degree
+            np.clip(zsum, 0.0, 1.0, out=z)
 
             # --- dual update ------------------------------------------
             u += x_local
@@ -327,13 +415,10 @@ class AdmmSolver:
 
             if iteration % settings.check_every == 0:
                 checked_at = iteration
-                primal = float(np.linalg.norm(x_local - z[var]))
-                dual = float(rho * np.linalg.norm((z - z_old)[var]))
-                eps = settings.epsilon_abs * np.sqrt(copies) + settings.epsilon_rel * max(
-                    float(np.linalg.norm(x_local)), float(np.linalg.norm(z[var]))
+                primal, dual, converged = _convergence(
+                    x_local, z, z_old, var, rho, settings
                 )
-                if primal < eps and dual < eps:
-                    converged = True
+                if converged:
                     break
 
         if iteration > 0 and checked_at != iteration:
@@ -341,15 +426,14 @@ class AdmmSolver:
             # one, e.g. max_iterations < check_every): report residuals of
             # the final iterate instead of a stale/inf value, and credit
             # convergence if the final point already satisfies the tolerance.
-            primal = float(np.linalg.norm(x_local - z[var]))
-            dual = float(rho * np.linalg.norm((z - z_old)[var]))
-            eps = settings.epsilon_abs * np.sqrt(copies) + settings.epsilon_rel * max(
-                float(np.linalg.norm(x_local)), float(np.linalg.norm(z[var]))
+            primal, dual, converged = _convergence(
+                x_local, z, z_old, var, rho, settings
             )
-            converged = primal < eps and dual < eps
 
         return AdmmResult(
-            x=z,
+            # On the shared path z is a segment view that close() will
+            # invalidate; the result must own its memory either way.
+            x=z.copy() if state is not None else z,
             iterations=iteration,
             converged=converged,
             primal_residual=primal,

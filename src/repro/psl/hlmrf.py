@@ -508,9 +508,75 @@ class HingeLossMRF:
             (num_potentials + lo, num_potentials + hi) for lo, hi in con_runs
         )
 
+    def _energy_arrays(self) -> tuple[np.ndarray, ...]:
+        """Partition-style structure arrays for the vectorized energy path.
+
+        Cached, keyed on the potential count: the potentials list is
+        append-only, and reweighting replaces entries with
+        same-structure copies, so the count fully identifies the
+        (weight-independent) structure.  Weights are deliberately *not*
+        cached — :meth:`energy` reads them fresh every call, so the
+        cache survives any amount of in-place reweighting.
+        """
+        cached = getattr(self, "_energy_terms", None)
+        num = len(self.potentials)
+        if cached is not None and cached[0] == num:
+            return cached[1]
+        counts = np.fromiter(
+            (len(p.coefficients) for p in self.potentials),
+            dtype=np.int64,
+            count=num,
+        )
+        copies = int(counts.sum())
+        var = np.fromiter(
+            (i for p in self.potentials for i, _ in p.coefficients),
+            dtype=np.int64,
+            count=copies,
+        )
+        coeff = np.fromiter(
+            (c for p in self.potentials for _, c in p.coefficients),
+            dtype=np.float64,
+            count=copies,
+        )
+        term = np.repeat(np.arange(num, dtype=np.int64), counts)
+        offset = np.fromiter(
+            (p.offset for p in self.potentials), dtype=np.float64, count=num
+        )
+        squared = np.fromiter(
+            (p.squared for p in self.potentials), dtype=bool, count=num
+        )
+        arrays = (var, coeff, term, offset, squared)
+        self._energy_terms = (num, arrays)
+        return arrays
+
+    def __getstate__(self) -> dict:
+        # The energy-array cache is a derived O(copies) structure; keep
+        # it out of pickles (engine work units ship MRFs) and let the
+        # receiver rebuild it lazily.
+        state = self.__dict__.copy()
+        state.pop("_energy_terms", None)
+        return state
+
     def energy(self, x) -> float:
-        """Total weighted hinge loss at *x* (ignores constraints)."""
-        return self.constant_energy + sum(p.value(x) for p in self.potentials)
+        """Total weighted hinge loss at *x* (ignores constraints).
+
+        Computed on cached partition-style arrays — one gather, one
+        per-term ``bincount``, one dot with the live weight vector —
+        instead of a Python loop over potentials.  Validated against the
+        per-potential sum in tests; float summation order differs, so
+        the two agree to tolerance, not bit for bit (every bit-identity
+        contract in the solver compares energies computed by this same
+        function on both sides).
+        """
+        if not self.potentials:
+            return self.constant_energy
+        var, coeff, term, offset, squared = self._energy_arrays()
+        xv = np.asarray(x, dtype=np.float64)
+        s = np.bincount(term, weights=coeff * xv[var], minlength=len(offset))
+        s += offset
+        mass = np.maximum(s, 0.0)
+        np.multiply(mass, mass, out=mass, where=squared)
+        return float(self.constant_energy + np.dot(self.potential_weights(), mass))
 
     def max_violation(self, x) -> float:
         """Largest hard-constraint violation at *x*."""

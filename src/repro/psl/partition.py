@@ -28,15 +28,21 @@ The per-iteration contract, relied on by :class:`~repro.psl.admm.AdmmSolver`:
 For process-backed executors, :class:`SharedPartitionBuffers` copies the
 blocks' arrays once into a ``multiprocessing.shared_memory`` segment and
 hands out :class:`SharedBlockArrays` stand-ins that pickle as a tiny
-attach-by-name descriptor — so a per-iteration process-mapped x-update
-ships only the small ``v`` slices, not the (constant) CSR arrays.  The
-driver owns the segment's unlink.
+attach-by-name descriptor, and :class:`SharedSolveState` puts the
+per-iteration consensus state (``z``, ``u``, a double-buffered
+``x_local``) in a second driver-owned segment whose manifest embeds
+those descriptors — so a process-mapped x-update ships only
+``(segment name, block index, rho, generation)`` per block and returns
+an ack: O(num_blocks) bytes per iteration, independent of problem size.
+The driver owns both segments' unlinks.
 """
 
 from __future__ import annotations
 
 import os
+import pickle
 from dataclasses import dataclass
+from itertools import chain, repeat
 from multiprocessing import shared_memory
 
 import numpy as np
@@ -73,6 +79,11 @@ class BlockArrays:
     var: np.ndarray  # int64[num_copies], global variable index
     term: np.ndarray  # int64[num_copies], block-local term index
     coeff: np.ndarray  # float64[num_copies]
+    #: per-kind index arrays, indexed by the KIND_* constants — the kind
+    #: masks of the local step, precompiled once at partition-build time
+    #: so :func:`block_x_update` dispatches closed-form kernels over
+    #: fixed index sets instead of recomputing masks every iteration.
+    kind_index: tuple[np.ndarray, ...]
 
     @property
     def num_terms(self) -> int:
@@ -87,46 +98,67 @@ class BlockArrays:
         return slice(self.copy_lo, self.copy_lo + len(self.var))
 
 
+#: The four term kinds in index order — KIND_HINGE..KIND_EQ are 0..3,
+#: so a block's ``kind_index[k]`` is the index set of kind constant *k*.
+_KINDS = (KIND_HINGE, KIND_SQUARED, KIND_LEQ, KIND_EQ)
+
+
+def _kind_index(kind: np.ndarray) -> tuple[np.ndarray, ...]:
+    """Precompile one block's per-kind term index sets."""
+    return tuple(np.flatnonzero(kind == k) for k in _KINDS)
+
+
+def _hinge_kernel(
+    d0: np.ndarray, weight: np.ndarray, normsq: np.ndarray, rho: float
+) -> np.ndarray:
+    w_over_rho = weight / rho
+    full_step_ok = d0 - w_over_rho * normsq >= 0.0
+    return np.where(d0 <= 0.0, 0.0, np.where(full_step_ok, w_over_rho, d0 / normsq))
+
+
+def _squared_kernel(
+    d0: np.ndarray, weight: np.ndarray, normsq: np.ndarray, rho: float
+) -> np.ndarray:
+    s = d0 / (1.0 + 2.0 * weight * normsq / rho)
+    return np.where(d0 <= 0.0, 0.0, 2.0 * weight * s / rho)
+
+
+def _leq_kernel(
+    d0: np.ndarray, weight: np.ndarray, normsq: np.ndarray, rho: float
+) -> np.ndarray:
+    return np.maximum(0.0, d0) / normsq
+
+
+def _eq_kernel(
+    d0: np.ndarray, weight: np.ndarray, normsq: np.ndarray, rho: float
+) -> np.ndarray:
+    return d0 / normsq
+
+
+#: Closed-form ``lambda`` kernels (module docstring of
+#: :mod:`repro.psl.admm`), indexed like ``kind_index``.
+_KIND_KERNELS = (_hinge_kernel, _squared_kernel, _leq_kernel, _eq_kernel)
+
+
 def block_x_update(block: BlockArrays, v: np.ndarray, rho: float) -> np.ndarray:
     """One block's ADMM local step: ``x = v - lambda[term] * a``.
 
     *v* is the block's slice of ``z[var] - u``.  The per-term scalar
-    ``lambda`` has the closed forms of the module docstring of
-    :mod:`repro.psl.admm`; everything here is elementwise or a per-term
-    ``bincount`` over block-local indices, so the result is the exact
-    slice the flat solver would have produced, computed with O(block)
-    temporaries.  Pure and picklable — safe under any executor.
+    ``lambda`` is computed by the closed-form kernel of each kind,
+    dispatched over the block's precompiled ``kind_index`` sets —
+    ``np.flatnonzero`` preserves the mask order, so the result is bit
+    for bit what the historical per-iteration boolean-mask version
+    produced.  Everything here is elementwise or a per-term ``bincount``
+    over block-local indices, so temporaries stay O(block).  Pure and
+    picklable — safe under any executor.
     """
     num_terms = block.num_terms
     dot = np.bincount(block.term, weights=block.coeff * v, minlength=num_terms)
     d0 = dot + block.offset
     lam = np.zeros(num_terms)
-
-    hinge = block.kind == KIND_HINGE
-    if hinge.any():
-        w_over_rho = block.weight[hinge] / rho
-        d0_h = d0[hinge]
-        full_step_ok = d0_h - w_over_rho * block.normsq[hinge] >= 0.0
-        lam[hinge] = np.where(
-            d0_h <= 0.0,
-            0.0,
-            np.where(full_step_ok, w_over_rho, d0_h / block.normsq[hinge]),
-        )
-
-    squared = block.kind == KIND_SQUARED
-    if squared.any():
-        d0_s = d0[squared]
-        s = d0_s / (1.0 + 2.0 * block.weight[squared] * block.normsq[squared] / rho)
-        lam[squared] = np.where(d0_s <= 0.0, 0.0, 2.0 * block.weight[squared] * s / rho)
-
-    leq = block.kind == KIND_LEQ
-    if leq.any():
-        lam[leq] = np.maximum(0.0, d0[leq]) / block.normsq[leq]
-
-    eq = block.kind == KIND_EQ
-    if eq.any():
-        lam[eq] = d0[eq] / block.normsq[eq]
-
+    for kernel, idx in zip(_KIND_KERNELS, block.kind_index):
+        if len(idx):
+            lam[idx] = kernel(d0[idx], block.weight[idx], block.normsq[idx], rho)
     return v - lam[block.term] * block.coeff
 
 
@@ -214,39 +246,55 @@ def build_partition(
     solve granularity from the grounding shard size.  Either way the
     blocks are views into one set of flat arrays, so partitioning adds
     O(num_copies) construction work and essentially no extra memory.
+
+    Array assembly is single-pass ``np.fromiter`` over generator chains
+    — no intermediate Python lists, no per-copy interpreter loop — and
+    each block's per-kind index sets are precompiled here so the solver
+    never touches a kind mask again.
     """
     if block_size is not None and block_size < 1:
         raise InferenceError(f"block_size must be >= 1, got {block_size}")
-    terms = [
-        (KIND_SQUARED if p.squared else KIND_HINGE, p.coefficients, p.offset, p.weight)
-        for p in mrf.potentials
-    ] + [
-        (KIND_EQ if c.equality else KIND_LEQ, c.coefficients, c.offset, 0.0)
-        for c in mrf.constraints
-    ]
-    num_terms = len(terms)
-    var_index: list[int] = []
-    coeff: list[float] = []
-    kinds: list[int] = []
-    offsets: list[float] = []
-    weights: list[float] = []
+    potentials, constraints = mrf.potentials, mrf.constraints
+    num_terms = len(potentials) + len(constraints)
+    kind_arr = np.fromiter(
+        chain(
+            (KIND_SQUARED if p.squared else KIND_HINGE for p in potentials),
+            (KIND_EQ if c.equality else KIND_LEQ for c in constraints),
+        ),
+        dtype=np.int64,
+        count=num_terms,
+    )
+    offset_arr = np.fromiter(
+        chain((p.offset for p in potentials), (c.offset for c in constraints)),
+        dtype=np.float64,
+        count=num_terms,
+    )
+    weight_arr = np.fromiter(
+        chain((p.weight for p in potentials), repeat(0.0, len(constraints))),
+        dtype=np.float64,
+        count=num_terms,
+    )
+    counts = np.fromiter(
+        (len(t.coefficients) for t in chain(potentials, constraints)),
+        dtype=np.int64,
+        count=num_terms,
+    )
     term_ptr = np.zeros(num_terms + 1, dtype=np.int64)
-    for t, (kind, coefficients, offset, weight) in enumerate(terms):
-        kinds.append(kind)
-        offsets.append(offset)
-        weights.append(weight)
-        for i, c in coefficients:
-            var_index.append(i)
-            coeff.append(c)
-        term_ptr[t + 1] = len(var_index)
+    np.cumsum(counts, out=term_ptr[1:])
+    num_copies = int(term_ptr[-1])
+    var = np.fromiter(
+        (i for t in chain(potentials, constraints) for i, _ in t.coefficients),
+        dtype=np.int64,
+        count=num_copies,
+    )
+    a = np.fromiter(
+        (c for t in chain(potentials, constraints) for _, c in t.coefficients),
+        dtype=np.float64,
+        count=num_copies,
+    )
 
     n = mrf.num_variables
-    var = np.asarray(var_index, dtype=np.int64)
-    a = np.asarray(coeff, dtype=np.float64)
-    kind_arr = np.asarray(kinds, dtype=np.int64)
-    offset_arr = np.asarray(offsets, dtype=np.float64)
-    weight_arr = np.asarray(weights, dtype=np.float64)
-    term = np.repeat(np.arange(num_terms, dtype=np.int64), np.diff(term_ptr))
+    term = np.repeat(np.arange(num_terms, dtype=np.int64), counts)
     normsq = np.maximum(
         np.bincount(term, weights=a**2, minlength=num_terms), 1e-12
     )
@@ -260,17 +308,19 @@ def build_partition(
     blocks = []
     for lo, hi in bounds:
         copy_lo, copy_hi = int(term_ptr[lo]), int(term_ptr[hi])
+        kind = kind_arr[lo:hi]
         blocks.append(
             BlockArrays(
                 term_lo=lo,
                 copy_lo=copy_lo,
-                kind=kind_arr[lo:hi],
+                kind=kind,
                 offset=offset_arr[lo:hi],
                 weight=weight_arr[lo:hi],
                 normsq=normsq[lo:hi],
                 var=var[copy_lo:copy_hi],
                 term=term[copy_lo:copy_hi] - lo,
                 coeff=a[copy_lo:copy_hi],
+                kind_index=_kind_index(kind),
             )
         )
     return TermPartition(
@@ -300,8 +350,17 @@ _COPY_FIELDS: tuple[tuple[str, type], ...] = (
     ("term", np.int64),
     ("coeff", np.float64),
 )
+#: The precompiled per-kind index sets, mirrored alongside the CSR
+#: arrays so pool workers dispatch kernels without recomputing masks.
+#: One field per KIND_* constant, in kind order; lengths vary per block.
+_INDEX_FIELDS: tuple[str, ...] = (
+    "hinge_index",
+    "squared_index",
+    "leq_index",
+    "eq_index",
+)
 _ALL_FIELDS = _TERM_FIELDS + _COPY_FIELDS
-_FIELD_DTYPES = dict(_ALL_FIELDS)
+_FIELD_DTYPES = dict(_ALL_FIELDS) | {field: np.int64 for field in _INDEX_FIELDS}
 
 #: Most recent shared segments this process has attached to, by name —
 #: LRU: hits reinsert, eviction drops the least recently used.  One
@@ -330,6 +389,9 @@ def _sweep_dead_segments() -> None:
     for name in list(_ATTACHED_SEGMENTS):
         if not os.path.exists(f"/dev/shm/{name}"):
             stale = _ATTACHED_SEGMENTS.pop(name)
+            # Drop the parsed solve-state views first so they stop
+            # pinning the mapping we are about to close.
+            _SOLVE_VIEWS.pop(name, None)
             try:
                 stale.close()
             except BufferError:
@@ -365,7 +427,9 @@ def _attach_segment(name: str) -> shared_memory.SharedMemory:
         finally:
             resource_tracker.register = original_register
     while len(_ATTACHED_SEGMENTS) >= _ATTACH_CACHE_SIZE:
-        stale = _ATTACHED_SEGMENTS.pop(next(iter(_ATTACHED_SEGMENTS)))
+        evicted = next(iter(_ATTACHED_SEGMENTS))
+        stale = _ATTACHED_SEGMENTS.pop(evicted)
+        _SOLVE_VIEWS.pop(evicted, None)
         try:
             stale.close()
         except BufferError:
@@ -432,6 +496,10 @@ class SharedBlockArrays:
     coeff = property(lambda self: self._view("coeff"))
 
     @property
+    def kind_index(self) -> tuple[np.ndarray, ...]:
+        return tuple(self._view(field) for field in _INDEX_FIELDS)
+
+    @property
     def num_terms(self) -> int:
         return self._layout["kind"][1]
 
@@ -463,19 +531,71 @@ class SharedBlockArrays:
         )
 
 
-class SharedPartitionBuffers:
+class SharedSegmentOwner:
+    """Base for driver-owned ``multiprocessing.shared_memory`` segments.
+
+    Subclasses allocate ``self._segment`` in their constructors; this
+    base owns the one real teardown: :meth:`release` (idempotent; also
+    run by ``__del__`` and on context-manager exit) drops any exported
+    views, closes the driver's mapping, and **unlinks** the segment,
+    after which attach-by-name fails and worker mappings die with their
+    processes.  ``repro lint``'s RPL003 recognizes subclasses of this
+    base as segment owners, so inheriting the lifecycle keeps the
+    checker's create/unlink discipline machine-verified.
+    """
+
+    _segment: shared_memory.SharedMemory | None = None
+
+    def _drop_exports(self) -> None:
+        """Drop live numpy views so the mapping can close (subclass hook)."""
+
+    @property
+    def name(self) -> str | None:
+        return self._segment.name if self._segment is not None else None
+
+    @property
+    def released(self) -> bool:
+        return self._segment is None
+
+    def release(self) -> None:
+        """Close and unlink the segment (idempotent, driver-owned)."""
+        segment, self._segment = self._segment, None
+        if segment is None:
+            return
+        self._drop_exports()
+        try:
+            segment.close()
+        except BufferError:
+            pass  # an outstanding view pins the mapping; unlink regardless
+        try:
+            segment.unlink()
+        except FileNotFoundError:
+            pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def __del__(self) -> None:
+        try:
+            self.release()
+        except Exception:
+            pass
+
+
+class SharedPartitionBuffers(SharedSegmentOwner):
     """Driver-owned shared-memory copies of a partition's block arrays.
 
-    Construction copies every block's arrays once into a single fresh
-    ``multiprocessing.shared_memory`` segment and exposes them as
-    :attr:`blocks` — :class:`SharedBlockArrays` parallel to
-    ``partition.blocks``.  The driver that built the buffers owns the
-    segment: :meth:`release` (idempotent; also run by ``__del__`` and on
-    context-manager exit) closes the mapping and **unlinks** the
-    segment, after which attach-by-name fails and worker mappings die
-    with their processes.  Callers must release on every exit path — the
-    ADMM solver does so in a ``finally`` so a raising solve cannot leak
-    the segment.
+    Construction copies every block's arrays (and precompiled kind index
+    sets) once into a single fresh ``multiprocessing.shared_memory``
+    segment and exposes them as :attr:`blocks` —
+    :class:`SharedBlockArrays` parallel to ``partition.blocks``.  The
+    driver that built the buffers owns the segment (see
+    :class:`SharedSegmentOwner`); callers must release on every exit
+    path — the ADMM solver ties the segment to its own lifetime so even
+    a raising solve cannot leak it.
     """
 
     def __init__(self, partition: TermPartition):
@@ -489,10 +609,11 @@ class SharedPartitionBuffers:
             for field, dtype in _COPY_FIELDS:
                 layout[field] = (total, block.num_copies)
                 total += block.num_copies * np.dtype(dtype).itemsize
+            for field, idx in zip(_INDEX_FIELDS, block.kind_index):
+                layout[field] = (total, len(idx))
+                total += len(idx) * np.dtype(np.int64).itemsize
             layouts.append(layout)
-        self._segment: shared_memory.SharedMemory | None = shared_memory.SharedMemory(
-            create=True, size=max(total, 1)
-        )
+        self._segment = shared_memory.SharedMemory(create=True, size=max(total, 1))
         self.blocks: tuple[SharedBlockArrays, ...] = ()
         try:
             blocks = []
@@ -508,6 +629,8 @@ class SharedPartitionBuffers:
                     np.copyto(
                         shared._view(field), getattr(block, field), casting="same_kind"
                     )
+                for field, idx in zip(_INDEX_FIELDS, block.kind_index):
+                    np.copyto(shared._view(field), idx, casting="same_kind")
                 # Drop the driver-side views right away: the driver reads
                 # through the regular partition, and live exports would make
                 # the mapping impossible to close on release.
@@ -519,6 +642,10 @@ class SharedPartitionBuffers:
             # caller holds a handle to release yet.
             self.release()
             raise
+
+    def _drop_exports(self) -> None:
+        for block in self.blocks:
+            block._drop_views()
 
     def write_weights(self, partition: TermPartition) -> None:
         """Push *partition*'s current block weights into the shared segment.
@@ -541,38 +668,137 @@ class SharedPartitionBuffers:
             np.copyto(view, block.weight, casting="same_kind")
             del view  # a live export would pin the mapping on release
 
-    @property
-    def name(self) -> str | None:
-        return self._segment.name if self._segment is not None else None
 
-    @property
-    def released(self) -> bool:
-        return self._segment is None
+# -- shared solve state (zero-IPC per-iteration consensus arrays) --------------
 
-    def release(self) -> None:
-        """Close and unlink the segment (idempotent, driver-owned)."""
-        segment, self._segment = self._segment, None
-        if segment is None:
-            return
-        for block in self.blocks:
-            block._drop_views()
+#: Byte size of a solve-state segment's header: three little-endian
+#: int64s — num_variables, num_copies, manifest byte length.
+_STATE_HEADER_BYTES = 24
+
+
+def _state_views(
+    buf: memoryview, n: int, copies: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, int]:
+    """Map a solve-state segment's arrays: z, u, x[0], x[1], manifest offset."""
+    offset = _STATE_HEADER_BYTES
+    z = np.ndarray((n,), dtype=np.float64, buffer=buf, offset=offset)
+    offset += 8 * n
+    u = np.ndarray((copies,), dtype=np.float64, buffer=buf, offset=offset)
+    offset += 8 * copies
+    x0 = np.ndarray((copies,), dtype=np.float64, buffer=buf, offset=offset)
+    offset += 8 * copies
+    x1 = np.ndarray((copies,), dtype=np.float64, buffer=buf, offset=offset)
+    offset += 8 * copies
+    return z, u, x0, x1, offset
+
+
+class SharedSolveState(SharedSegmentOwner):
+    """Driver-owned shared-memory consensus state for one ADMM solver.
+
+    Holds the full per-iteration state — consensus vector :attr:`z`,
+    duals :attr:`u`, and a double-buffered local-copy vector ``x`` — in
+    one ``multiprocessing.shared_memory`` segment, followed by a pickled
+    manifest (extents plus the partition's :class:`SharedBlockArrays`
+    descriptors) that workers parse once per segment.  With it, a
+    process-mapped ADMM iteration ships only ``(segment name, block
+    index, rho, generation)`` per block — O(num_blocks) bytes,
+    independent of problem size: workers compute their
+    ``v = z[var] - u[copy_slice]`` from zero-copy views, write ``x``
+    straight into the generation's buffer, and the map result
+    degenerates to an ack (see :func:`apply_shared_solve_update`).
+
+    ``x`` is double-buffered by generation parity: the buffer written in
+    iteration *g* is not the one any straggling writer of an adjacent
+    generation could touch.  The solver's one-map-per-iteration barrier
+    already serializes generations, so this is belt and braces that also
+    keeps the layout safe for pipelined executors.
+
+    Like :class:`SharedPartitionBuffers`, the creating driver owns the
+    unlink (:meth:`release`); worker attachments are cached per process
+    and swept once the driver unlinks.
+    """
+
+    z: np.ndarray | None = None
+    u: np.ndarray | None = None
+
+    def __init__(
+        self, partition: TermPartition, blocks: tuple[SharedBlockArrays, ...]
+    ):
+        n, copies = partition.num_variables, partition.num_copies
+        manifest = pickle.dumps(
+            tuple(blocks), protocol=pickle.HIGHEST_PROTOCOL
+        )
+        size = _STATE_HEADER_BYTES + 8 * (n + 3 * copies) + len(manifest)
+        self._segment = shared_memory.SharedMemory(create=True, size=max(size, 1))
         try:
-            segment.close()
-        except BufferError:
-            pass  # an outstanding view pins the mapping; unlink regardless
-        try:
-            segment.unlink()
-        except FileNotFoundError:
-            pass
-
-    def __enter__(self) -> "SharedPartitionBuffers":
-        return self
-
-    def __exit__(self, *exc_info: object) -> None:
-        self.release()
-
-    def __del__(self) -> None:
-        try:
+            buf = self._segment.buf
+            header = np.ndarray((3,), dtype=np.int64, buffer=buf)
+            header[:] = (n, copies, len(manifest))
+            del header  # a live export would pin the mapping on release
+            z, u, x0, x1, manifest_at = _state_views(buf, n, copies)
+            buf[manifest_at : manifest_at + len(manifest)] = manifest
+            self.z, self.u = z, u
+            self._x = (x0, x1)
+        except BaseException:
             self.release()
-        except Exception:
-            pass
+            raise
+
+    def x_buffer(self, generation: int) -> np.ndarray:
+        """The local-copy buffer that *generation*'s workers write."""
+        return self._x[generation & 1]
+
+    def _drop_exports(self) -> None:
+        self.z = None
+        self.u = None
+        self._x = ()
+
+
+@dataclass(frozen=True)
+class _SolveStateViews:
+    """A worker's parsed, cached view of one solve-state segment."""
+
+    z: np.ndarray
+    u: np.ndarray
+    x: tuple[np.ndarray, np.ndarray]
+    blocks: tuple[SharedBlockArrays, ...]
+
+
+#: Parsed solve-state views by segment name — populated on a worker's
+#: first payload for a solve, dropped alongside the corresponding
+#: attach-cache entry (dead-segment sweep / LRU eviction) so finished
+#: solves release their memory.
+_SOLVE_VIEWS: dict[str, _SolveStateViews] = {}
+
+
+def _solve_state_views(name: str) -> _SolveStateViews:
+    views = _SOLVE_VIEWS.get(name)
+    if views is None:
+        buf = _attach_segment(name).buf
+        n, copies, manifest_len = (
+            int(v) for v in np.ndarray((3,), dtype=np.int64, buffer=buf)
+        )
+        z, u, x0, x1, manifest_at = _state_views(buf, n, copies)
+        blocks = pickle.loads(bytes(buf[manifest_at : manifest_at + manifest_len]))
+        views = _SolveStateViews(z=z, u=u, x=(x0, x1), blocks=blocks)
+        _SOLVE_VIEWS[name] = views
+    return views
+
+
+def apply_shared_solve_update(payload: tuple[str, int, float, int]) -> int:
+    """Executor-map adapter for the zero-IPC ADMM local step.
+
+    *payload* is ``(solve-state segment name, block index, rho,
+    generation)`` — a few dozen bytes.  Everything else comes out of
+    shared memory: the block's CSR arrays via the manifest's
+    attach-by-name descriptors, ``v = z[var] - u[copy_slice]`` from the
+    live consensus views (exactly the slice the driver would have
+    pickled), and the block's x-update written straight into the
+    generation's buffer.  Returns the block index as the ack.
+    """
+    name, index, rho, generation = payload
+    state = _solve_state_views(name)
+    block = state.blocks[index]
+    sl = block.copy_slice
+    v = state.z[block.var] - state.u[sl]
+    state.x[generation & 1][sl] = block_x_update(block, v, rho)
+    return index

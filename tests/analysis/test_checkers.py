@@ -268,6 +268,43 @@ class TestRPL003SharedMemoryLifecycle:
         )
         assert hits == []
 
+    def test_create_in_segment_owner_subclass_is_clean(self):
+        # SharedPartitionBuffers / SharedSolveState inherit release()
+        # from SharedSegmentOwner — ownership is recognized via the base
+        # name even with no release/close in the class's own body.
+        hits = rules_hit(
+            {
+                "repro/psl/seg.py": SHM_IMPORT
+                + src(
+                    """
+                    class SharedSolveState(SharedSegmentOwner):
+                        def __init__(self, size):
+                            self._segment = SharedMemory(create=True, size=size)
+                    """
+                )
+            },
+            "RPL003",
+        )
+        assert hits == []
+
+    def test_create_in_unrecognized_subclass_is_flagged(self):
+        # Inheriting from a base the checker doesn't know is not
+        # ownership: without release/close in the body, still flagged.
+        hits = rules_hit(
+            {
+                "repro/psl/seg.py": SHM_IMPORT
+                + src(
+                    """
+                    class Buffers(SomethingElse):
+                        def __init__(self, size):
+                            self._segment = SharedMemory(create=True, size=size)
+                    """
+                )
+            },
+            "RPL003",
+        )
+        assert len(hits) == 1
+
     def test_create_under_try_finally_is_clean(self):
         hits = rules_hit(
             {

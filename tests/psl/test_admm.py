@@ -138,6 +138,55 @@ def test_reports_non_convergence_when_capped():
     assert result.iterations == 3
 
 
+@pytest.mark.parametrize(
+    "bad",
+    [
+        {"check_every": 0},
+        {"check_every": -3},
+        {"rho": 0.0},
+        {"rho": -1.0},
+        {"max_iterations": -1},
+    ],
+    ids=lambda bad: next(iter(bad.items()))[0] + "=" + str(next(iter(bad.values()))),
+)
+def test_invalid_settings_rejected_at_construction(bad):
+    # check_every=0 used to crash mid-solve with ZeroDivisionError at
+    # the `iteration % check_every` gate; now every nonsense knob fails
+    # fast at solver construction with a clear InferenceError.
+    from repro.errors import InferenceError
+
+    mrf = _mrf(1)
+    mrf.add_potential({X(0): 1.0}, 0.0, weight=2.0)
+    with pytest.raises(InferenceError):
+        AdmmSolver(mrf, AdmmSettings(**bad))
+
+
+def test_zero_max_iterations_is_valid_and_returns_initial_point():
+    # max_iterations=0 is a legitimate "evaluate, don't iterate" knob.
+    mrf = _mrf(1)
+    mrf.add_potential({X(0): 1.0}, 0.0, weight=2.0)
+    result = AdmmSolver(mrf, AdmmSettings(max_iterations=0)).solve()
+    assert result.iterations == 0
+    assert result.x[0] == 0.5
+
+
+def test_truncated_exit_matches_scheduled_check_residuals():
+    # Regression for the deduplicated convergence helper: a run capped
+    # between checks (max_iterations < check_every) must report exactly
+    # the residuals a run whose schedule lands on that iteration reports
+    # — the two exit paths now share one definition of the criterion.
+    mrf = _mrf(2)
+    mrf.add_potential({X(0): -1.0, X(1): -1.0}, 1.0, weight=3.0)
+    mrf.add_potential({X(0): 1.0}, 0.0, weight=1.0)
+    between = AdmmSolver(mrf, AdmmSettings(max_iterations=3, check_every=10)).solve()
+    on_schedule = AdmmSolver(mrf, AdmmSettings(max_iterations=3, check_every=3)).solve()
+    assert between.iterations == on_schedule.iterations == 3
+    assert between.primal_residual == on_schedule.primal_residual
+    assert between.dual_residual == on_schedule.dual_residual
+    assert between.converged == on_schedule.converged
+    assert np.array_equal(between.x, on_schedule.x)
+
+
 def test_unconverged_exit_reports_finite_residuals():
     # max_iterations < check_every: the loop used to exit without ever
     # computing residuals, reporting inf for both.

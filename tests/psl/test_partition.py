@@ -15,9 +15,12 @@ import pytest
 
 from repro.psl.hlmrf import HingeLossMRF
 from repro.psl.partition import (
+    _KINDS,
     SharedBlockArrays,
     SharedPartitionBuffers,
+    SharedSolveState,
     _attach_segment,
+    apply_shared_solve_update,
     block_x_update,
     build_partition,
 )
@@ -238,3 +241,113 @@ def test_block_x_update_matches_whole_problem_update():
         ]
     )
     assert np.array_equal(whole, pieces)
+
+
+def test_kind_index_precompiles_the_kind_masks():
+    mrf = _legacy_mrf()  # one block with all four kinds
+    partition = build_partition(mrf)
+    for block in partition.blocks:
+        assert len(block.kind_index) == len(_KINDS)
+        for kind, idx in zip(_KINDS, block.kind_index):
+            assert np.array_equal(idx, np.flatnonzero(block.kind == kind))
+        # Together the index sets cover every term exactly once.
+        assert sorted(np.concatenate(block.kind_index)) == list(
+            range(block.num_terms)
+        )
+
+
+def test_shared_blocks_mirror_kind_index():
+    partition = build_partition(_legacy_mrf())
+    with SharedPartitionBuffers(partition) as shared:
+        for block, mirror in zip(partition.blocks, shared.blocks):
+            mirrored = mirror.kind_index
+            assert len(mirrored) == len(block.kind_index)
+            for idx, idx_view in zip(block.kind_index, mirrored):
+                assert idx_view.dtype == np.int64
+                assert np.array_equal(idx_view, idx)
+            clone = pickle.loads(pickle.dumps(mirror))
+            for idx, idx_view in zip(block.kind_index, clone.kind_index):
+                assert np.array_equal(idx_view, idx)
+
+
+def _staged(partition):
+    buffers = SharedPartitionBuffers(partition)
+    state = SharedSolveState(partition, buffers.blocks)
+    return buffers, state
+
+
+def test_shared_solve_state_worker_update_matches_in_driver_math():
+    partition = build_partition(_block_built_mrf(), block_size=5)
+    buffers, state = _staged(partition)
+    try:
+        rng = np.random.default_rng(7)
+        state.z[:] = rng.uniform(size=partition.num_variables)
+        state.u[:] = rng.normal(scale=0.1, size=partition.num_copies)
+        for generation in (1, 2):  # both parity buffers
+            for index, block in enumerate(partition.blocks):
+                ack = apply_shared_solve_update(
+                    (state.name, index, 1.5, generation)
+                )
+                assert ack == index
+                v = state.z[block.var] - state.u[block.copy_slice]
+                assert np.array_equal(
+                    state.x_buffer(generation)[block.copy_slice],
+                    block_x_update(block, v, 1.5),
+                )
+    finally:
+        state.release()
+        buffers.release()
+
+
+def test_shared_solve_state_unlink_lifecycle():
+    partition = build_partition(_block_built_mrf())
+    buffers, state = _staged(partition)
+    name = state.name
+    assert name is not None and not state.released
+    assert _attach_segment(name).size >= 8
+    state.release()
+    assert state.released and state.name is None
+    assert state.z is None and state.u is None
+    with pytest.raises(FileNotFoundError):
+        shared_memory.SharedMemory(name=name)  # driver-owned unlink happened
+    state.release()  # idempotent
+    buffers.release()
+
+
+def test_concurrent_solve_states_are_independent():
+    partition = build_partition(_block_built_mrf())
+    buffers_a, state_a = _staged(partition)
+    buffers_b, state_b = _staged(partition)
+    try:
+        assert state_a.name != state_b.name
+        state_a.z[:] = 0.25
+        state_b.z[:] = 0.75
+        state_a.release()
+        buffers_a.release()
+        # Releasing one solve's segments leaves the other fully usable.
+        assert np.all(state_b.z == 0.75)
+        assert apply_shared_solve_update((state_b.name, 0, 1.0, 1)) == 0
+    finally:
+        state_b.release()
+        buffers_b.release()
+
+
+@pytest.mark.skipif(not os.path.isdir("/dev/shm"), reason="needs /dev/shm")
+def test_solve_view_cache_drops_with_dead_segments():
+    import repro.psl.partition as partition_module
+
+    partition = build_partition(_block_built_mrf())
+    buffers, state = _staged(partition)
+    name = state.name
+    apply_shared_solve_update((name, 0, 1.0, 1))  # populates the view cache
+    assert name in partition_module._SOLVE_VIEWS
+    state.release()
+    buffers.release()
+    # Next attach (a new solve arriving) sweeps the dead segment's
+    # mapping and its parsed views together.
+    buffers2, state2 = _staged(partition)
+    apply_shared_solve_update((state2.name, 0, 1.0, 1))
+    assert name not in partition_module._SOLVE_VIEWS
+    assert name not in partition_module._ATTACHED_SEGMENTS
+    state2.release()
+    buffers2.release()

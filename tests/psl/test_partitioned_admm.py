@@ -9,6 +9,7 @@ problems and on random MRFs alike.  Not approximately: bit for bit.
 """
 
 import functools
+import pickle
 from multiprocessing import shared_memory
 
 import numpy as np
@@ -19,7 +20,6 @@ from repro.ibench.config import ScenarioConfig
 from repro.ibench.generator import generate_scenario
 from repro.psl.admm import AdmmResult, AdmmSettings, AdmmSolver, AdmmWarmState
 from repro.psl.hlmrf import HingeLossMRF
-from repro.psl.partition import SharedBlockArrays
 from repro.psl.predicate import Predicate
 from repro.psl.sharding import mrf_fingerprint
 from repro.selection.collective import (
@@ -272,15 +272,11 @@ class _RecordingProcessExecutor(ProcessExecutor):
     def __init__(self, explode: bool = False):
         super().__init__(2, persistent=True)
         self.explode = explode
-        self.shared_names: set[str] = set()
-        self.payload_types: set[type] = set()
+        self.payloads: list = []
 
     def map(self, fn, items, **kwargs):
-        for payload in items:
-            block = payload[0]
-            self.payload_types.add(type(block))
-            if isinstance(block, SharedBlockArrays):
-                self.shared_names.add(block.shm_name)
+        items = list(items)
+        self.payloads.extend(items)
         if self.explode:
             raise RuntimeError("boom")
         return super().map(fn, items, **kwargs)
@@ -293,7 +289,14 @@ def _assert_unlinked(names):
             shared_memory.SharedMemory(name=name)
 
 
-def test_process_solve_ships_shared_blocks_and_unlinks_after():
+def _segment_names(solver: AdmmSolver) -> set[str]:
+    """Both solver-owned segments: block staging + shared solve state."""
+    names = {solver._shared.name, solver._solve_state.name}
+    assert None not in names
+    return names
+
+
+def test_process_solve_ships_tiny_acks_and_unlinks_after():
     mrf = _collective_mrf()
     executor = _RecordingProcessExecutor()
     try:
@@ -303,20 +306,30 @@ def test_process_solve_ships_shared_blocks_and_unlinks_after():
         reference = _ReferenceFlatSolver(
             mrf, AdmmSettings(max_iterations=3, check_every=3)
         ).solve()
-        _assert_identical_run(AdmmSolver(mrf, settings).solve(), reference)
-        # Every per-iteration payload was an attach-by-name descriptor...
-        assert executor.payload_types == {SharedBlockArrays}
-        # ...and the driver-owned segment is unlinked once the solve ends.
-        _assert_unlinked(executor.shared_names)
+        solver = AdmmSolver(mrf, settings)
+        _assert_identical_run(solver.solve(), reference)
+        # Every per-iteration payload is (segment name, block index,
+        # rho, generation) — O(1) bytes, independent of problem size...
+        assert executor.payloads
+        state_name = solver._solve_state.name
+        for payload in executor.payloads:
+            name, index, rho, generation = payload
+            assert name == state_name
+            assert isinstance(index, int) and isinstance(generation, int)
+            assert len(pickle.dumps(payload)) < 128
+        names = _segment_names(solver)
+        del solver
+        # ...and both driver-owned segments unlink with the solver.
+        _assert_unlinked(names)
     finally:
         executor.close()
 
 
-def test_shared_segment_released_when_solver_closes_after_raise():
-    # The staging segment is solver-owned and survives a raising solve
-    # (the solver stays usable for a retry / reweighted re-solve);
-    # close() — also run on context exit and garbage collection — is
-    # the leak-free teardown.
+def test_shared_segments_released_when_solver_closes_after_raise():
+    # The staging + solve-state segments are solver-owned and survive a
+    # raising solve (the solver stays usable for a retry / reweighted
+    # re-solve); close() — also run on context exit and garbage
+    # collection — is the leak-free teardown.
     mrf = _collective_mrf()
     executor = _RecordingProcessExecutor(explode=True)
     solver = AdmmSolver(
@@ -326,21 +339,55 @@ def test_shared_segment_released_when_solver_closes_after_raise():
         solver.solve()
     from repro.psl.partition import _attach_segment
 
-    for name in executor.shared_names:  # still staged while the solver lives
+    names = _segment_names(solver)
+    for name in names:  # still staged while the solver lives
         assert _attach_segment(name).size >= 8
     solver.close()
-    _assert_unlinked(executor.shared_names)  # leak-free teardown on close
+    _assert_unlinked(names)  # leak-free teardown on close
+    executor.close()
 
 
-def test_solver_releases_shared_segment_when_garbage_collected():
+def test_solver_releases_shared_segments_when_garbage_collected():
     mrf = _collective_mrf()
     executor = _RecordingProcessExecutor()
     try:
         settings = AdmmSettings(
             max_iterations=2, check_every=2, block_size=64, executor=executor
         )
-        AdmmSolver(mrf, settings).solve()  # one-shot: solver dies right away
-        _assert_unlinked(executor.shared_names)
+        solver = AdmmSolver(mrf, settings)
+        solver.solve()
+        names = _segment_names(solver)
+        del solver  # one-shot: solver dies right away
+        _assert_unlinked(names)
+    finally:
+        executor.close()
+
+
+def test_concurrent_solvers_do_not_release_each_other():
+    # Two live solvers on the same executor own disjoint segments; one
+    # closing (or dying) must not tear down the other's state mid-use.
+    mrf = _collective_mrf()
+    executor = _RecordingProcessExecutor()
+    try:
+        settings = AdmmSettings(
+            max_iterations=2, check_every=2, block_size=64, executor=executor
+        )
+        first = AdmmSolver(mrf, settings)
+        second = AdmmSolver(mrf, settings)
+        result_first = first.solve()
+        result_second = second.solve()
+        names_first = _segment_names(first)
+        names_second = _segment_names(second)
+        assert not names_first & names_second
+        first.close()
+        _assert_unlinked(names_first)
+        # The survivor still re-solves bit-identically on its own state.
+        again = second.solve()
+        assert np.array_equal(again.x, result_second.x)
+        assert again.iterations == result_second.iterations
+        second.close()
+        _assert_unlinked(names_second)
+        del result_first
     finally:
         executor.close()
 
