@@ -133,6 +133,24 @@ def _rows_reweight(data: dict) -> list[list[str]]:
     ]
 
 
+def _rows_grounding_store(data: dict) -> list[list[str]]:
+    rows = []
+    for name, r in data.get("scenarios", {}).items():
+        rows.append(
+            [
+                f"grounding store cold start ({name})",
+                f"fresh ground vs store attach+reweight "
+                f"({r.get('num_potentials', '?')} potentials, entry "
+                f"{_fmt_bytes(r['entry_bytes'])}; warm in-process reweight "
+                f"{_fmt_seconds(r['warm_reweight_seconds'])} for context)",
+                _fmt_seconds(r["ground_seconds"]),
+                _fmt_seconds(r["attach_seconds"]),
+                _fmt_speedup(r["speedup"]),
+            ]
+        )
+    return rows
+
+
 #: filename -> row extractor.  Order fixes the table's row order.
 KNOWN_ARTIFACTS = {
     "sharded_grounding.json": _rows_sharded_grounding,
@@ -141,6 +159,7 @@ KNOWN_ARTIFACTS = {
     "admm_ipc.json": _rows_admm_ipc,
     "persistent_pool.json": _rows_persistent_pool,
     "reweight.json": _rows_reweight,
+    "grounding_store.json": _rows_grounding_store,
 }
 
 _HEADER = ["benchmark", "comparison", "baseline", "optimized", "speedup"]

@@ -9,6 +9,9 @@ Commands:
   ground-once/reweight-many path: one grounding per lane, every further
   cell reweights and re-solves);
 * ``demo``     — the paper's running example with its appendix objective table;
+* ``store``    — inspect/maintain an on-disk grounding store
+  (docs/grounding-store.md): ``ls`` the entries, ``gc`` stale ones,
+  ``verify`` payload integrity and structure hashes;
 * ``lint``     — the repro-lint static-analysis pass (docs/lint.md): exits
   0 when clean against the baseline, 1 on findings, 2 on usage errors.
 """
@@ -16,6 +19,7 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.evaluation.engine import (
@@ -85,6 +89,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="terms per ADMM partition block (default: inherit the grounding "
         "shard structure)",
     )
+    select.add_argument(
+        "--grounding-store",
+        default=None,
+        help="disk grounding-store directory: attach a previously spilled "
+        "grounding of the same structure (mmap + reweight) instead of "
+        "re-grounding, and spill fresh grounds for future runs",
+    )
 
     sweep = sub.add_parser("sweep", help="quality-vs-noise sweep")
     sweep.add_argument(
@@ -129,7 +140,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "--cache-dir",
         default=None,
         help="persist generated scenarios/problems here (keyed by config hash) "
-        "so repeated sessions skip generation",
+        "so repeated sessions skip generation (also enables a sibling "
+        "groundings/ store unless --grounding-store overrides it)",
+    )
+    sweep.add_argument(
+        "--grounding-store",
+        default=None,
+        help="disk grounding-store directory shared across lanes, workers and "
+        "sessions (default: <cache-dir>/groundings when --cache-dir is set)",
     )
     sweep.add_argument(
         "--no-warm-start",
@@ -172,12 +190,34 @@ def _build_parser() -> argparse.ArgumentParser:
         help="solve every cell cold instead of chaining ADMM warm starts",
     )
     weight_sweep.add_argument(
+        "--grounding-store",
+        default=None,
+        help="disk grounding-store directory: the sweep's single structure is "
+        "attached (mmap + reweight) instead of ground when already spilled",
+    )
+    weight_sweep.add_argument(
         "--timing",
         action="store_true",
         help="also print the per-cell timing breakdown",
     )
 
     sub.add_parser("demo", help="the paper's running example")
+
+    store = sub.add_parser(
+        "store",
+        help="inspect/maintain a grounding store (ls, gc, verify)",
+    )
+    store.add_argument("action", choices=["ls", "gc", "verify"])
+    store.add_argument("root", help="grounding store directory")
+    store.add_argument(
+        "--key", default=None, help="verify only this entry (default: all)"
+    )
+    store.add_argument(
+        "--all",
+        action="store_true",
+        dest="all_entries",
+        help="gc: remove every entry, not just stale/leftover ones",
+    )
 
     lint = sub.add_parser(
         "lint",
@@ -249,6 +289,7 @@ def _cmd_select(args: argparse.Namespace) -> int:
         args.ground_shard_size,
         args.solve_executor,
         args.solve_block_size,
+        args.grounding_store,
     )
     if "collective" in methods and any(knob is not None for knob in knobs):
         methods["collective"] = partial(
@@ -259,6 +300,7 @@ def _cmd_select(args: argparse.Namespace) -> int:
                 ),
                 ground_executor=args.ground_executor,
                 ground_shard_size=args.ground_shard_size,
+                grounding_store=args.grounding_store,
             ),
         )
     start = time.perf_counter()
@@ -301,6 +343,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         ground_shard_size=args.ground_shard_size,
         solve_executor=args.solve_executor,
         solve_block_size=args.solve_block_size,
+        grounding_store=args.grounding_store,
     )
     sweep = engine.sweep(base, args.noise, args.levels, args.seeds)
     columns = [*DEFAULT_GRID_METHODS, "gold"]
@@ -356,6 +399,7 @@ def _cmd_weight_sweep(args: argparse.Namespace) -> int:
         methods=DEFAULT_GRID_METHODS,
         executor=args.executor,
         warm_start=not args.no_warm_start,
+        grounding_store=args.grounding_store,
     )
     sweep = engine.weight_sweep(base, weight_grid, args.seeds)
     columns = [*DEFAULT_GRID_METHODS, "gold"]
@@ -417,6 +461,45 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_store(args: argparse.Namespace) -> int:
+    from repro.psl.store import GroundingStore
+
+    store = GroundingStore(args.root)
+    if args.action == "ls":
+        entries = store.ls()
+        print(
+            format_table(
+                ["key", "vars", "potentials", "constraints", "copies", "bytes", "state"],
+                [
+                    [
+                        e.key[:16],
+                        e.num_variables,
+                        e.num_potentials,
+                        e.num_constraints,
+                        e.num_copies,
+                        e.bytes,
+                        "stale" if e.stale else "ok",
+                    ]
+                    for e in entries
+                ],
+                title=f"{len(entries)} entr(y/ies) in {args.root}",
+            )
+        )
+        return 0
+    if args.action == "gc":
+        removed = store.gc(all_entries=args.all_entries)
+        for name in removed:
+            print(f"removed {name}")
+        print(f"gc: removed {len(removed)} director(y/ies)")
+        return 0
+    results = store.verify(args.key)
+    for key, ok, message in results:
+        print(f"{'ok ' if ok else 'BAD'} {key[:16]} {message}")
+    bad = sum(1 for _, ok, _ in results if not ok)
+    print(f"verify: {len(results) - bad} ok, {bad} bad")
+    return 1 if bad else 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -468,6 +551,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "weight-sweep": _cmd_weight_sweep,
     "demo": _cmd_demo,
+    "store": _cmd_store,
     "lint": _cmd_lint,
 }
 
@@ -475,7 +559,14 @@ _COMMANDS = {
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # ``repro store ls | head`` and friends: a pipe closed by the
+        # downstream reader is normal usage, not a traceback.  Point
+        # stdout at devnull so interpreter shutdown does not re-raise.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

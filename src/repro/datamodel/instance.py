@@ -48,7 +48,10 @@ class Fact:
         )
 
     def __repr__(self) -> str:
-        inner = ", ".join(repr(v) for v in self.values)
+        # map() over a genexpr: fact reprs order the error-mediator
+        # groups during grounding *and* store-key hashing, so this runs
+        # hot on every cold start.
+        inner = ", ".join(map(repr, self.values))
         return f"{self.relation}({inner})"
 
 

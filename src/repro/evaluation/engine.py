@@ -190,26 +190,52 @@ class ScenarioCache:
         except OSError:
             tmp.unlink(missing_ok=True)
 
+    #: Everything unpickling a cached problem can raise on a bad entry.
+    #: Corruption shows up as ``UnpicklingError``/``EOFError``/``ValueError``;
+    #: *version skew* — an entry written by a code revision whose classes
+    #: have since moved or lost attributes — as ``ModuleNotFoundError``
+    #: (an ``ImportError``) or ``AttributeError``.  Both kinds are plain
+    #: cache misses: regenerate and overwrite, never crash.
+    _PROBLEM_LOAD_ERRORS = (
+        OSError,
+        EOFError,
+        ValueError,
+        TypeError,
+        KeyError,
+        IndexError,
+        ImportError,
+        AttributeError,
+        pickle.UnpicklingError,
+    )
+
     def _load_problem(self, config: ScenarioConfig) -> SelectionProblem | None:
         path = self._disk_path(config, "problem.pkl")
         if path is None or not path.exists():
             return None
         try:
             with path.open("rb") as handle:
-                problem = pickle.load(handle)
-        except Exception:
+                payload = pickle.load(handle)
+        except self._PROBLEM_LOAD_ERRORS:
             return None
+        # Entries are version-wrapped dicts; anything else (including a
+        # bare problem from an older layout) is stale and regenerated.
+        if not isinstance(payload, dict):
+            return None
+        if payload.get("format") != CACHE_FORMAT_VERSION:
+            return None
+        problem = payload.get("problem")
         return problem if isinstance(problem, SelectionProblem) else None
 
     def _store_problem(self, config: ScenarioConfig, problem: SelectionProblem) -> None:
         path = self._disk_path(config, "problem.pkl")
         if path is None:
             return
+        payload = {"format": CACHE_FORMAT_VERSION, "problem": problem}
         tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
             with tmp.open("wb") as handle:
-                pickle.dump(problem, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp, path)
         except OSError:
             tmp.unlink(missing_ok=True)
@@ -249,6 +275,19 @@ class ScenarioCache:
         elapsed = time.perf_counter() - start
         self._problems[config] = (problem, elapsed)
         return problem, elapsed
+
+    def grounding_dir(self) -> Path | None:
+        """The sibling grounding-store directory of this cache's disk layer.
+
+        Scenario/problem entries and spilled groundings travel together:
+        a cache directory implies a ``groundings/`` subdirectory for the
+        cross-process :class:`~repro.psl.store.GroundingStore`, so every
+        lane/worker sharing the scenario cache also shares one on-disk
+        grounding per structure.  ``None`` when the cache is memory-only.
+        """
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / "groundings"
 
     def clear(self) -> None:
         """Drop the in-memory layer (disk entries, if any, survive)."""
@@ -467,6 +506,15 @@ class EvaluationEngine:
             per-iteration dispatch cheap); forwarded to every cell.
         solve_block_size: terms per ADMM partition block (``None`` →
             inherit the grounding shard structure recorded in the MRF).
+        grounding_store: root directory of a cross-process disk
+            :class:`~repro.psl.store.GroundingStore` for the collective
+            method's compiled groundings — a cold process *attaches*
+            (mmap + reweight) a spilled structure instead of
+            re-grounding it.  Defaults to the scenario cache's sibling
+            ``groundings/`` directory whenever a disk cache is in play
+            (``cache_dir`` or a *cache* with one), so grid lanes and
+            persistent-pool workers share one on-disk grounding per
+            structure; ``None`` with no disk cache → off.
     """
 
     def __init__(
@@ -481,21 +529,28 @@ class EvaluationEngine:
         ground_shard_size: int | None = None,
         solve_executor: MapExecutor | str | None = None,
         solve_block_size: int | None = None,
+        grounding_store: str | Path | None = None,
     ):
         self.methods = tuple(methods if methods is not None else DEFAULT_GRID_METHODS)
         self.executor = resolve_executor(executor)
         self.include_gold = include_gold
         self.warm_start = warm_start
         self.cache_dir = str(cache_dir) if cache_dir is not None else None
+        self.cache = cache if cache is not None else ScenarioCache(cache_dir=cache_dir)
+        if grounding_store is None:
+            grounding_store = self.cache.grounding_dir()
+        self.grounding_store = (
+            str(grounding_store) if grounding_store is not None else None
+        )
         self.collective_settings: CollectiveSettings | None = None
         knobs = (ground_executor, ground_shard_size, solve_executor, solve_block_size)
-        if any(knob is not None for knob in knobs):
+        if any(knob is not None for knob in knobs) or self.grounding_store is not None:
             self.collective_settings = CollectiveSettings(
                 admm=AdmmSettings(executor=solve_executor, block_size=solve_block_size),
                 ground_executor=ground_executor,
                 ground_shard_size=ground_shard_size,
+                grounding_store=self.grounding_store,
             )
-        self.cache = cache if cache is not None else ScenarioCache(cache_dir=cache_dir)
 
     def run_grid(self, configs: Sequence[ScenarioConfig]) -> GridResult:
         """Evaluate every config; cells come back in (config, method) order."""

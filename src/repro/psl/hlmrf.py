@@ -123,6 +123,77 @@ class HardConstraint:
         return abs(s) if self.equality else max(0.0, s)
 
 
+class _LazyTermList:
+    """Deferred potential/constraint objects of a store-attached MRF.
+
+    Building the per-term objects is the expensive half of attaching a
+    spilled grounding (:func:`rebuild_mrf`), and the hot path never
+    reads them: the ADMM stack solves off the precompiled flat arrays,
+    :meth:`HingeLossMRF.energy` slices them too, reweighting updates the
+    weight *vector* (see :meth:`HingeLossMRF._set_weight`), and the
+    structural checks only take ``len()``.  This sequence therefore
+    defers building the objects until something actually subscripts,
+    iterates, or pickles it — fingerprints, the energy fallback, the
+    per-potential diagnostics.  Materialization reads the MRF's *live*
+    weight vector, so weights rewritten before the first touch are
+    reflected exactly, as if the objects had existed all along.
+    """
+
+    __slots__ = ("_length", "_build", "_items")
+
+    def __init__(self, length: int, build):
+        self._length = length
+        self._build = build
+        self._items: list | None = None
+
+    @property
+    def materialized(self) -> bool:
+        return self._items is not None
+
+    def _force(self) -> list:
+        if self._items is None:
+            items = self._build()
+            if len(items) != self._length:
+                raise InferenceError(
+                    f"deferred term list built {len(items)} objects, "
+                    f"expected {self._length}"
+                )
+            self._items = items
+            self._build = None
+        return self._items
+
+    def __len__(self) -> int:
+        return self._length if self._items is None else len(self._items)
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    def __getitem__(self, index):
+        return self._force()[index]
+
+    def __setitem__(self, index, value) -> None:
+        self._force()[index] = value
+
+    def __iter__(self):
+        return iter(self._force())
+
+    def __eq__(self, other):
+        if isinstance(other, _LazyTermList):
+            other = other._force()
+        if isinstance(other, list):
+            return self._force() == other
+        return NotImplemented
+
+    def append(self, value) -> None:
+        self._force().append(value)
+        self._length = len(self._items)
+
+    def __reduce__(self):
+        # Pickle as the plain list: receivers get ordinary objects, and
+        # the build closure (which may hold mmap views) never ships.
+        return (list, (self._force(),))
+
+
 @dataclass
 class HingeLossMRF:
     """A HL-MRF over named ground atoms.
@@ -188,12 +259,27 @@ class HingeLossMRF:
     def num_variables(self) -> int:
         return len(self.variables)
 
+    def _ensure_index(self) -> dict[GroundAtom, int]:
+        """The atom→index map, rebuilt when it lags ``variables``.
+
+        Normal grounding keeps the two in lockstep; a store-attached MRF
+        (:func:`rebuild_mrf`) starts with an empty map and pays the atom
+        hashing only when something actually resolves atoms — never on
+        the attach path itself.
+        """
+        index = self._index
+        if len(index) != len(self.variables):
+            index = {atom: i for i, atom in enumerate(self.variables)}
+            self._index = index
+        return index
+
     def variable_index(self, atom: GroundAtom) -> int:
         """Intern *atom* as a variable and return its index."""
-        idx = self._index.get(atom)
+        index = self._ensure_index()
+        idx = index.get(atom)
         if idx is None:
             idx = len(self.variables)
-            self._index[atom] = idx
+            index[atom] = idx
             self.variables.append(atom)
         return idx
 
@@ -203,7 +289,7 @@ class HingeLossMRF:
 
     def index_of(self, atom: GroundAtom) -> int:
         try:
-            return self._index[atom]
+            return self._ensure_index()[atom]
         except KeyError:
             raise InferenceError(f"{atom} is not a variable of this MRF") from None
 
@@ -250,7 +336,15 @@ class HingeLossMRF:
 
     def _set_weight(self, i: int, weight: float) -> None:
         if self._pot_weights[i] != weight:
-            self.potentials[i] = replace(self.potentials[i], weight=weight)
+            potentials = self.potentials
+            if isinstance(potentials, _LazyTermList) and not potentials.materialized:
+                # Store-attached MRF whose term objects are still
+                # deferred: they materialize from the live weight
+                # vector, so updating the vector alone keeps them exact
+                # — and reweighting stays free of object construction.
+                self._pot_weights[i] = weight
+                return
+            potentials[i] = replace(potentials[i], weight=weight)
             self._pot_weights[i] = weight
 
     @staticmethod
@@ -292,8 +386,16 @@ class HingeLossMRF:
             if float(weight) == 0.0 and not members and not mass:
                 continue  # was ground at zero weight; zero -> zero is a no-op
             weight = self._check_new_weight(key, weight)
-            for i in members:
-                self._set_weight(i, weight)
+            potentials = self.potentials
+            if isinstance(potentials, _LazyTermList) and not potentials.materialized:
+                # Deferred term objects read the live weight vector when
+                # they materialize — bulk-update the vector directly.
+                pot_weights = self._pot_weights
+                for i in members:
+                    pot_weights[i] = weight
+            else:
+                for i in members:
+                    self._set_weight(i, weight)
             if mass:
                 weighted = weight * mass
                 self.constant_energy += weighted - self._constant_weighted[gid]
@@ -522,6 +624,24 @@ class HingeLossMRF:
         num = len(self.potentials)
         if cached is not None and cached[0] == num:
             return cached[1]
+        flat = getattr(self, "_compiled", None)
+        if flat is not None and flat.num_potentials == num:
+            # Slice the precompiled flat arrays instead of iterating the
+            # potential objects: both emit the identical potentials-first
+            # CSR order, the lists are append-only, and an equal count
+            # pins an equal prefix — so the content matches bit for bit.
+            # Also keeps a store-attached MRF's deferred term objects
+            # unmaterialized (the arrays are read-only mmap views there).
+            copies = int(flat.term_ptr[num])
+            arrays = (
+                flat.var[:copies],
+                flat.coeff[:copies],
+                flat.term[:copies],
+                flat.offset[:num],
+                np.asarray(flat.kind[:num] == KIND_SQUARED),
+            )
+            self._energy_terms = (num, arrays)
+            return arrays
         counts = np.fromiter(
             (len(p.coefficients) for p in self.potentials),
             dtype=np.int64,
@@ -552,9 +672,13 @@ class HingeLossMRF:
     def __getstate__(self) -> dict:
         # The energy-array cache is a derived O(copies) structure; keep
         # it out of pickles (engine work units ship MRFs) and let the
-        # receiver rebuild it lazily.
+        # receiver rebuild it lazily.  Likewise the precompiled flat
+        # solver arrays a store attach seeds (mmap views must never be
+        # pickled as full arrays); the receiver recompiles from the
+        # potential lists.
         state = self.__dict__.copy()
         state.pop("_energy_terms", None)
+        state.pop("_compiled", None)
         return state
 
     def energy(self, x) -> float:
@@ -583,3 +707,123 @@ class HingeLossMRF:
         if not self.constraints:
             return 0.0
         return max(c.violation(x) for c in self.constraints)
+
+
+def rebuild_mrf(
+    variables: Sequence[GroundAtom],
+    *,
+    kind: Sequence[int],
+    offset: Sequence[float],
+    weight: Sequence[float],
+    term_ptr: Sequence[int],
+    var: Sequence[int],
+    coeff: Sequence[float],
+    num_potentials: int,
+    potential_groups: Sequence[int],
+    group_keys: Sequence[Hashable],
+    zero_dropped: Iterable[int],
+    constant_mass: Mapping[int, float],
+    constant_weighted: Mapping[int, float],
+    constant_energy: float,
+    block_extents: Iterable[tuple[int, int, int, int]],
+) -> HingeLossMRF:
+    """Reconstruct a grounded :class:`HingeLossMRF` from flat CSR arrays.
+
+    The structural inverse of grounding, used by the disk grounding
+    store (:mod:`repro.psl.store`): given the flat term arrays in
+    potentials-then-constraints order plus the registry metadata
+    (interned variables, origin groups, folded-constant masses, term
+    block extents), rebuild the full MRF **without re-interning atoms
+    through the grounding path** — no shard planning, no
+    ``add_term_block``, no dict-based coefficient maps.  Every field is
+    reproduced exactly as the original grounding left it (float64
+    round-trips bit for bit), so fingerprints, reweighting, and solves
+    on the rebuilt MRF are indistinguishable from the original's.
+
+    Array-likes may be numpy arrays (including read-only mmap views) or
+    plain sequences; they are only read.
+
+    The potential/constraint *objects* are deferred
+    (:class:`_LazyTermList`): the solver stack works entirely off the
+    flat arrays, so an attached MRF solves and reweights without ever
+    constructing them — they materialize (from the live weight vector)
+    only when something iterates or subscripts the lists, e.g. a
+    fingerprint or the per-potential diagnostics.
+    """
+    def as_list(values) -> list:
+        # ndarray.tolist() converts to builtin ints/floats at C speed
+        # (exact for int64/float64); plain sequences pass through.
+        return values.tolist() if hasattr(values, "tolist") else list(values)
+
+    num_terms = len(kind)
+    pot_weights = as_list(weight[:num_potentials])
+
+    shared: dict = {}
+
+    def term_source() -> dict:
+        if not shared:
+            shared["pairs"] = list(zip(as_list(var), as_list(coeff)))
+            shared["ptr"] = as_list(term_ptr)
+            shared["kinds"] = as_list(kind)
+            shared["offsets"] = as_list(offset)
+        return shared
+
+    def build_potentials() -> list:
+        s = term_source()
+        pairs, ptr, kinds, offsets = s["pairs"], s["ptr"], s["kinds"], s["offsets"]
+        # pot_weights is the MRF's live _pot_weights list (mutated in
+        # place by reweights), so late materialization stays exact.
+        return [
+            HingePotential(
+                tuple(pairs[ptr[t] : ptr[t + 1]]),
+                offsets[t],
+                pot_weights[t],
+                kinds[t] == KIND_SQUARED,
+            )
+            for t in range(num_potentials)
+        ]
+
+    def build_constraints() -> list:
+        s = term_source()
+        pairs, ptr, kinds, offsets = s["pairs"], s["ptr"], s["kinds"], s["offsets"]
+        return [
+            HardConstraint(
+                tuple(pairs[ptr[t] : ptr[t + 1]]),
+                offsets[t],
+                kinds[t] == KIND_EQ,
+            )
+            for t in range(num_potentials, num_terms)
+        ]
+
+    potentials = _LazyTermList(num_potentials, build_potentials)
+    constraints = _LazyTermList(num_terms - num_potentials, build_constraints)
+    groups = [int(g) for g in as_list(potential_groups)]
+    if len(groups) != num_potentials:
+        raise InferenceError(
+            f"expected {num_potentials} potential group tags, got {len(groups)}"
+        )
+    keys = list(group_keys)
+    members: dict[int, list[int]] = {gid: [] for gid in range(len(keys))}
+    for i, gid in enumerate(groups):
+        if gid >= 0:
+            members[gid].append(i)
+    atoms = list(variables)
+    return HingeLossMRF(
+        variables=atoms,
+        _index={},  # rebuilt lazily by _ensure_index on first atom lookup
+        potentials=potentials,
+        constraints=constraints,
+        constant_energy=float(constant_energy),
+        _block_extents=[tuple(int(v) for v in e) for e in block_extents],
+        potential_groups=groups,
+        weights_version=0,
+        _pot_weights=pot_weights,
+        _group_ids={key: gid for gid, key in enumerate(keys)},
+        _group_keys=keys,
+        _group_members=members,
+        _constant_mass={int(g): float(m) for g, m in constant_mass.items()},
+        _constant_weighted={
+            int(g): float(m) for g, m in constant_weighted.items()
+        },
+        _zero_dropped={int(g) for g in zero_dropped},
+    )

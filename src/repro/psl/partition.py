@@ -233,27 +233,53 @@ class TermPartition:
         return tuple((b.term_lo, b.term_lo + b.num_terms) for b in self.blocks)
 
 
-def build_partition(
-    mrf: HingeLossMRF, block_size: int | None = None
-) -> TermPartition:
-    """Compile *mrf* into a :class:`TermPartition` (built once per solver).
+@dataclass(frozen=True)
+class FlatTermArrays:
+    """One MRF's flat solver arrays, before any block chunking.
 
-    With *block_size* unset the partition follows the block extents the
-    MRF recorded at grounding time (``mrf.term_partition()``) — one run
-    per shard-emitted term block, or a single run on the legacy
-    incremental path.  A *block_size* (>= 1) re-chunks the flat term
-    range into uniform runs of that many terms instead, decoupling the
-    solve granularity from the grounding shard size.  Either way the
-    blocks are views into one set of flat arrays, so partitioning adds
-    O(num_copies) construction work and essentially no extra memory.
+    The single intermediate between an MRF and its
+    :class:`TermPartition`: :func:`compile_term_arrays` assembles it from
+    the potential/constraint lists, and the grounding store
+    (:mod:`repro.psl.store`) spills exactly these arrays to disk and
+    re-attaches them as read-only mmap views — every field except
+    ``weight`` is structure, immutable once grounded, so zero-copy
+    attach is safe.  ``weight`` is the flat per-term weight vector the
+    partition's blocks will hold views of; it **must be writable**
+    (:meth:`TermPartition.set_potential_weights` rewrites it in place),
+    so the attach path substitutes a fresh in-memory copy for the
+    mmapped original.
+    """
+
+    num_variables: int
+    num_potentials: int
+    kind: np.ndarray  # int64[num_terms], KIND_* values
+    offset: np.ndarray  # float64[num_terms]
+    weight: np.ndarray  # float64[num_terms]; writable, constraints are 0.0
+    normsq: np.ndarray  # float64[num_terms], max(||a||^2, 1e-12)
+    term_ptr: np.ndarray  # int64[num_terms+1], CSR row pointer into copies
+    var: np.ndarray  # int64[num_copies], global variable index
+    term: np.ndarray  # int64[num_copies], global term index
+    coeff: np.ndarray  # float64[num_copies]
+    degree: np.ndarray  # float64[num_variables], max(copy count, 1)
+
+    @property
+    def num_terms(self) -> int:
+        return len(self.kind)
+
+    @property
+    def num_copies(self) -> int:
+        return len(self.var)
+
+
+def compile_term_arrays(mrf: HingeLossMRF) -> FlatTermArrays:
+    """Assemble *mrf*'s flat solver arrays (the first half of a partition).
 
     Array assembly is single-pass ``np.fromiter`` over generator chains
-    — no intermediate Python lists, no per-copy interpreter loop — and
-    each block's per-kind index sets are precompiled here so the solver
-    never touches a kind mask again.
+    — no intermediate Python lists, no per-copy interpreter loop.  The
+    derived arrays (``term``, ``normsq``, ``degree``) are computed here
+    once and carried along, so a consumer that persisted them (the
+    grounding store) reloads bit-identical values instead of recomputing.
     """
-    if block_size is not None and block_size < 1:
-        raise InferenceError(f"block_size must be >= 1, got {block_size}")
     potentials, constraints = mrf.potentials, mrf.constraints
     num_terms = len(potentials) + len(constraints)
     kind_arr = np.fromiter(
@@ -299,38 +325,88 @@ def build_partition(
         np.bincount(term, weights=a**2, minlength=num_terms), 1e-12
     )
     degree = np.maximum(np.bincount(var, minlength=n).astype(np.float64), 1.0)
+    return FlatTermArrays(
+        num_variables=n,
+        num_potentials=len(potentials),
+        kind=kind_arr,
+        offset=offset_arr,
+        weight=weight_arr,
+        normsq=normsq,
+        term_ptr=term_ptr,
+        var=var,
+        term=term,
+        coeff=a,
+        degree=degree,
+    )
+
+
+def build_partition(
+    mrf: HingeLossMRF, block_size: int | None = None
+) -> TermPartition:
+    """Compile *mrf* into a :class:`TermPartition` (built once per solver).
+
+    With *block_size* unset the partition follows the block extents the
+    MRF recorded at grounding time (``mrf.term_partition()``) — one run
+    per shard-emitted term block, or a single run on the legacy
+    incremental path.  A *block_size* (>= 1) re-chunks the flat term
+    range into uniform runs of that many terms instead, decoupling the
+    solve granularity from the grounding shard size.  Either way the
+    blocks are views into one set of flat arrays, so partitioning adds
+    O(num_copies) construction work and essentially no extra memory.
+
+    An MRF carrying precompiled :class:`FlatTermArrays` (attribute
+    ``_compiled`` — seeded by the grounding store's mmap attach path)
+    skips array assembly entirely: the blocks become zero-copy views
+    into the attached arrays.  The precompiled weights may be the
+    grounding-time ones, so they are resynced from the MRF's live weight
+    vector here — the solver snapshots ``weights_version`` at
+    construction and only re-syncs on a later change.
+    """
+    if block_size is not None and block_size < 1:
+        raise InferenceError(f"block_size must be >= 1, got {block_size}")
+    num_terms = len(mrf.potentials) + len(mrf.constraints)
+    flat = getattr(mrf, "_compiled", None)
+    if (
+        flat is None
+        or flat.num_potentials != len(mrf.potentials)
+        or flat.num_terms != num_terms
+    ):
+        flat = compile_term_arrays(mrf)
+    else:
+        flat.weight[: flat.num_potentials] = mrf.potential_weights()
 
     if block_size is not None:
-        bounds = tuple(iter_slices(num_terms, block_size))
+        bounds = tuple(iter_slices(flat.num_terms, block_size))
     else:
         bounds = mrf.term_partition()
 
+    term_ptr, term = flat.term_ptr, flat.term
     blocks = []
     for lo, hi in bounds:
         copy_lo, copy_hi = int(term_ptr[lo]), int(term_ptr[hi])
-        kind = kind_arr[lo:hi]
+        kind = flat.kind[lo:hi]
         blocks.append(
             BlockArrays(
                 term_lo=lo,
                 copy_lo=copy_lo,
                 kind=kind,
-                offset=offset_arr[lo:hi],
-                weight=weight_arr[lo:hi],
-                normsq=normsq[lo:hi],
-                var=var[copy_lo:copy_hi],
+                offset=flat.offset[lo:hi],
+                weight=flat.weight[lo:hi],
+                normsq=flat.normsq[lo:hi],
+                var=flat.var[copy_lo:copy_hi],
                 term=term[copy_lo:copy_hi] - lo,
-                coeff=a[copy_lo:copy_hi],
+                coeff=flat.coeff[copy_lo:copy_hi],
                 kind_index=_kind_index(kind),
             )
         )
     return TermPartition(
-        num_variables=n,
-        num_terms=num_terms,
+        num_variables=flat.num_variables,
+        num_terms=flat.num_terms,
         blocks=tuple(blocks),
-        var=var,
-        degree=degree,
-        term_weights=weight_arr,
-        num_potentials=len(mrf.potentials),
+        var=flat.var,
+        degree=flat.degree,
+        term_weights=flat.weight,
+        num_potentials=flat.num_potentials,
     )
 
 

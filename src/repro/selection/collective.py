@@ -44,6 +44,8 @@ default solve partition.
 
 from __future__ import annotations
 
+import hashlib
+import struct
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -69,6 +71,7 @@ from repro.psl.sharding import (
     ground_shards,
     iter_slices,
 )
+from repro.psl.store import GroundingStore, StoredGrounding
 from repro.selection.exact import SelectionResult
 from repro.selection.metrics import SelectionProblem
 from repro.selection.objective import (
@@ -124,6 +127,14 @@ class CollectiveSettings:
     #: instead of re-grounding (results are bit-identical to the
     #: re-grounding path).  Set False to force a fresh ground per call.
     reuse_grounding: bool = True
+    #: Root directory of a cross-process disk
+    #: :class:`~repro.psl.store.GroundingStore` (``None`` → off).  With a
+    #: store set, an in-process cache miss first tries to *attach* a
+    #: spilled grounding of the same structure (mmap + reweight — see
+    #: :func:`collective_structure_key`), and a fresh ground is spilled
+    #: for the next process lifetime.  A plain string so settings stay
+    #: picklable inside engine work units.
+    grounding_store: str | None = None
 
 
 @dataclass(frozen=True)
@@ -391,6 +402,124 @@ def ground_collective(
     return mrf, plan, stats
 
 
+def collective_structure_key(
+    problem: SelectionProblem,
+    settings: CollectiveSettings,
+) -> str:
+    """The content address of *problem*'s ground structure in a disk store.
+
+    Two ``(problem, settings)`` pairs share a key iff grounding them
+    yields the same HL-MRF *structure* — at which point the stored entry
+    serves both via attach + reweight.  The key therefore covers exactly
+    the structure-determining inputs and nothing weight-magnitude
+    dependent:
+
+    * the coverage entries (fact index + per-candidate support degrees)
+      and shared-error entries (fact index + owner group) — shard *size*
+      deliberately excluded, since solves are bit-identical under any
+      term partition;
+    * the candidates whose folded prior penalty is positive at the
+      requesting weights (``prior_included``) and the component
+      zero-pattern flags: zero-weight potentials are dropped at
+      grounding time, so a component or penalty crossing zero changes
+      structure and must change the key;
+    * the hinge form (``squared_hinges``) and the candidate count.
+
+    Computed straight from the problem tables — **no shard planning** —
+    because this key is the attach path's admission ticket: a process
+    cold start pays it before anything else, so it must stay a small
+    fraction of a fresh ground.  The entry encodings are packed into
+    int64/float64 arrays and hashed in bulk; entry order is j-fact /
+    candidate-index / repr-sorted-error-group order, a deterministic
+    function of the problem and never set- or dict-arrival order, so
+    equal structures always hash equally (content-addressing would
+    silently break otherwise).  The derivation mirrors
+    :func:`plan_collective_grounding` entry for entry — the two must
+    never drift, or stored entries would attach to the wrong structure
+    (the :meth:`GroundedCollective.can_reweight` guard and the store's
+    fingerprint verification are the backstops).
+    """
+    weights = settings.weights
+    h = hashlib.sha256()
+    h.update(b"collective-structure-v2\0")
+    h.update(
+        struct.pack(
+            "<????Q",
+            bool(settings.squared_hinges),
+            weights.explains == 0,
+            weights.errors == 0,
+            weights.size == 0,
+            problem.num_candidates,
+        )
+    )
+
+    # Coverage triples (t_idx, candidate, degree), ordered by fact then
+    # candidate index — the same entries a CoverageShard would carry.
+    # Cover-table keys are (in practice) the very j_fact objects, so an
+    # id()-based position map avoids hashing every Fact's value tree; a
+    # by-value map is built lazily for equal-but-distinct objects, and
+    # both resolve to the same index, so the digest never depends on
+    # which path found it.
+    t_pos = {id(t): idx for idx, t in enumerate(problem.j_facts)}
+    by_value: dict[Fact, int] | None = None
+    sup_t: list[int] = []
+    sup_i: list[int] = []
+    sup_d: list[float] = []
+    pos_get = t_pos.get
+    push_t, push_i, push_d = sup_t.append, sup_i.append, sup_d.append
+    for i, table in enumerate(problem.covers):
+        for t, degree in table.items():
+            idx = pos_get(id(t))
+            if idx is None:
+                if by_value is None:
+                    by_value = {t: j for j, t in enumerate(problem.j_facts)}
+                idx = by_value[t]
+            push_t(idx)
+            push_i(i)
+            push_d(
+                degree.numerator / degree.denominator
+                if isinstance(degree, Fraction)
+                else float(degree)
+            )
+    t_arr = np.asarray(sup_t, dtype=np.int64)
+    i_arr = np.asarray(sup_i, dtype=np.int64)
+    d_arr = np.asarray(sup_d, dtype=np.float64)
+    order = np.lexsort((i_arr, t_arr))
+    h.update(t_arr[order].tobytes())
+    h.update(i_arr[order].tobytes())
+    h.update(d_arr[order].tobytes())
+
+    # Shared-error entries (e_idx, owners) in the planner's repr-sorted
+    # group order; private errors only move the folded prior below.
+    owners: dict[Fact, list[int]] = {}
+    for i, facts in enumerate(problem.error_facts):
+        for f in facts:
+            owners.setdefault(f, []).append(i)
+    private_error_counts = [0] * problem.num_candidates
+    shared_enc: list[int] = []
+    for e_idx, (f, who) in enumerate(sorted(owners.items(), key=lambda kv: repr(kv[0]))):
+        if len(who) == 1:
+            private_error_counts[who[0]] += 1
+        else:
+            shared_enc.extend((e_idx, len(who)))
+            shared_enc.extend(who)
+    h.update(np.asarray(shared_enc, dtype=np.int64).tobytes())
+
+    # The prior inclusion pattern at the requesting weights, computed by
+    # the exact planning-time expression (Fractions, then float > 0).
+    included = [
+        i
+        for i in range(problem.num_candidates)
+        if float(
+            weights.errors * private_error_counts[i]
+            + weights.size * int(problem.sizes[i])
+        )
+        > 0
+    ]
+    h.update(np.asarray(included, dtype=np.int64).tobytes())
+    return h.hexdigest()
+
+
 class GroundedCollective:
     """One selection problem's compiled HL-MRF, with mutable weights.
 
@@ -427,6 +556,93 @@ class GroundedCollective:
         self.weights = settings.weights
         self._admm = settings.admm
         self._solver: AdmmSolver | None = None
+
+    @classmethod
+    def from_store(
+        cls,
+        problem: SelectionProblem,
+        settings: CollectiveSettings,
+        stored: StoredGrounding,
+    ) -> GroundedCollective:
+        """Attach a spilled grounding as a solve-ready artifact (no ground).
+
+        *stored* must have been spilled under
+        :func:`collective_structure_key` for a structure-equal
+        ``(problem, settings)`` — the key guarantees the zero patterns
+        agree, so the usual :meth:`reweight` to ``settings.weights``
+        (the caller's next step) is exact.  No shard planning runs: the
+        attach-side plan is reconstructed from the rebuilt MRF's
+        variable registry (the atom dicts) and the entry's extra payload
+        (the writer's :meth:`store_extra` — prior components/inclusion
+        for the reweight guard), leaving ``shards`` empty since nothing
+        will be ground.  ``weights`` starts as the *grounding-time*
+        weights the writer recorded, keeping the :meth:`can_reweight`
+        guard honest about what the stored term weights actually are.
+        ``stats`` is ``None``: nothing was ground, so there are no
+        grounding-pass peaks to report.  Raises
+        :class:`~repro.errors.InferenceError` when the extra payload
+        lacks the reweight registry (an entry spilled by something other
+        than the collective disk tier) — callers fall back to a fresh
+        ground.
+        """
+        extra = stored.extra if isinstance(stored.extra, dict) else {}
+        try:
+            prior_components = tuple(
+                (int(i), int(private), int(size))
+                for i, private, size in extra["prior_components"]
+            )
+            prior_included = tuple(int(i) for i in extra["prior_included"])
+            grounding_weights = extra["weights"]
+        except (KeyError, TypeError, ValueError):
+            raise InferenceError(
+                "stored grounding lacks the collective reweight registry "
+                "(prior components / grounding weights); re-ground instead"
+            ) from None
+        mrf = stored.mrf
+        in_atoms: dict[int, GroundAtom] = {}
+        explained_atoms: dict[int, GroundAtom] = {}
+        error_atoms: dict[int, GroundAtom] = {}
+        tables = {
+            IN_PREDICATE.name: in_atoms,
+            EXPLAINED_PREDICATE.name: explained_atoms,
+            ERROR_PREDICATE.name: error_atoms,
+        }
+        for atom in mrf.variables:
+            table = tables.get(atom.predicate.name)
+            if table is not None:
+                table[atom.arguments[0]] = atom
+        self = cls.__new__(cls)
+        self.problem = problem
+        self.squared = bool(settings.squared_hinges)
+        self.mrf = mrf
+        self.plan = CollectivePlan(
+            in_atoms=in_atoms,
+            explained_atoms=explained_atoms,
+            error_atoms=error_atoms,
+            targets=tuple(mrf.variables),
+            shards=(),
+            prior_components=prior_components,
+            prior_included=prior_included,
+        )
+        self.stats = None
+        self.weights = grounding_weights
+        self._admm = settings.admm
+        self._solver = None
+        return self
+
+    def store_extra(self) -> dict:
+        """The extra payload a disk-store spill of this artifact needs.
+
+        Everything :meth:`from_store` cannot recover from the flat
+        arrays: the grounding-time weights (the :meth:`can_reweight`
+        baseline) and the plan's prior components/inclusion (the
+        per-candidate reweight registry).
+        """
+        return {
+            "weights": self.weights,
+            "prior_components": self.plan.prior_components,
+            "prior_included": self.plan.prior_included,
+        }
 
     @property
     def solver(self) -> AdmmSolver:
@@ -498,6 +714,11 @@ class CollectiveGroundingCache:
     Keyed by problem identity plus the structure-affecting settings
     (squared hinges, grounding shard size) — *not* by weights: a hit
     whose weights differ only reweights the cached artifact in place.
+    When ``settings.grounding_store`` names a disk store, an in-memory
+    miss falls through to a *disk tier* first (see
+    :meth:`_attach_or_ground`): attach a spilled grounding of the same
+    content-addressed structure instead of re-grounding, and spill fresh
+    grounds for future process lifetimes.
     Entries whose zero pattern no longer matches are evicted and
     re-ground.  The thread id is part of the key so concurrent solves
     from different threads never share (and mid-solve reweight) one
@@ -520,6 +741,12 @@ class CollectiveGroundingCache:
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        #: Disk-tier traffic (only moves when a grounding store is set):
+        #: ``disk_hits`` counts in-memory misses served by attaching a
+        #: spilled entry; ``disk_misses`` counts fresh grounds that were
+        #: spilled for the next process lifetime.
+        self.disk_hits = 0
+        self.disk_misses = 0
 
     def grounded(
         self,
@@ -557,9 +784,7 @@ class CollectiveGroundingCache:
             # thread id is in its key), so no other thread can touch it.
             entry.reweight(settings.weights)
             return entry
-        fresh = GroundedCollective(  # ground outside the lock, it is slow
-            problem, settings, executor=executor, shard_size=shard_size
-        )
+        fresh = self._attach_or_ground(problem, settings, executor, shard_size)
         evicted: list[tuple[tuple, GroundedCollective]] = []
         with self._lock:
             self.misses += 1
@@ -572,6 +797,55 @@ class CollectiveGroundingCache:
             # Foreign-thread entries: leave release to GC (see class doc).
         return fresh
 
+    def _attach_or_ground(
+        self,
+        problem: SelectionProblem,
+        settings: CollectiveSettings,
+        executor: MapExecutor | str | None,
+        shard_size: int | None,
+    ) -> GroundedCollective:
+        """The disk tier below the in-memory LRU (runs outside the lock).
+
+        With a grounding store configured, try to *attach* a spilled
+        entry of the same structure (mmap + reweight — no grounding);
+        on a store miss ground fresh and spill it so the next process
+        lifetime attaches instead.  Store trouble of any kind (corrupt
+        entry, version skew, unwritable directory, a stored zero-pattern
+        that will not reweight) silently degrades to the fresh-ground
+        path — persistence is an optimization, never load-bearing.
+        """
+        store = (
+            GroundingStore(settings.grounding_store)
+            if settings.grounding_store
+            else None
+        )
+        key = None
+        if store is not None:
+            # No planning on this path: the key is computed straight
+            # from the problem tables, and an attach reconstructs its
+            # plan from the rebuilt MRF — a cold start pays mmap +
+            # registry rebuild, never a re-ground's term construction.
+            key = collective_structure_key(problem, settings)
+            stored = store.load(key)
+            if stored is not None:
+                try:
+                    attached = GroundedCollective.from_store(
+                        problem, settings, stored
+                    )
+                    attached.reweight(settings.weights)
+                except InferenceError:
+                    pass  # foreign/stale extra or zero-pattern skew: re-ground
+                else:
+                    self.disk_hits += 1
+                    return attached
+        fresh = GroundedCollective(  # ground outside the lock, it is slow
+            problem, settings, executor=executor, shard_size=shard_size
+        )
+        if store is not None and key is not None:
+            self.disk_misses += 1
+            store.put(key, fresh.mrf, extra=fresh.store_extra())
+        return fresh
+
     def clear(self) -> None:
         """Drop (and close) every cached artifact.
 
@@ -582,6 +856,7 @@ class CollectiveGroundingCache:
             entries = list(self._entries.values())
             self._entries.clear()
             self.hits = self.misses = 0
+            self.disk_hits = self.disk_misses = 0
         for entry in entries:
             entry.close()
 

@@ -306,6 +306,72 @@ def test_corrupt_disk_cache_falls_back_to_generation(tmp_path):
     assert problem.num_candidates > 0
 
 
+def test_version_skew_problem_pickle_falls_back_to_generation(tmp_path):
+    # An entry whose pickled classes no longer import (a cache written
+    # by a different code revision) raises ModuleNotFoundError inside
+    # pickle.load — a miss, never a crash.
+    import pickle
+
+    from repro.evaluation.engine import config_hash
+
+    skew = b"cnonexistent_mod\nattr\n."
+    with pytest.raises(ModuleNotFoundError):
+        pickle.loads(skew)
+    (tmp_path / f"{config_hash(SMALL)}.problem.pkl").write_bytes(skew)
+    cache = ScenarioCache(cache_dir=tmp_path)
+    problem, _ = cache.problem(SMALL)
+    assert problem.num_candidates > 0
+
+
+def test_unversioned_problem_pickle_is_stale(tmp_path):
+    # Entries carry a format version; a bare (pre-versioning) payload is
+    # ignored and transparently overwritten with a wrapped one.
+    import pickle
+
+    from repro.evaluation.engine import CACHE_FORMAT_VERSION, config_hash
+
+    reference = ScenarioCache(cache_dir=tmp_path)
+    expected, _ = reference.problem(SMALL)
+    path = tmp_path / f"{config_hash(SMALL)}.problem.pkl"
+    path.write_bytes(pickle.dumps(expected))  # old layout: bare problem
+    cache = ScenarioCache(cache_dir=tmp_path)
+    problem, _ = cache.problem(SMALL)
+    assert problem.num_candidates == expected.num_candidates
+    payload = pickle.loads(path.read_bytes())  # rewritten, now wrapped
+    assert payload["format"] == CACHE_FORMAT_VERSION
+
+
+def test_wrong_format_version_problem_pickle_is_stale(tmp_path):
+    import pickle
+
+    from repro.evaluation.engine import CACHE_FORMAT_VERSION, config_hash
+
+    poisoned = {"format": CACHE_FORMAT_VERSION + 1, "problem": "not a problem"}
+    path = tmp_path / f"{config_hash(SMALL)}.problem.pkl"
+    path.write_bytes(pickle.dumps(poisoned))
+    cache = ScenarioCache(cache_dir=tmp_path)
+    problem, _ = cache.problem(SMALL)
+    assert problem.num_candidates > 0
+
+
+def test_cache_dir_enables_sibling_grounding_store(tmp_path):
+    from repro.psl.store import GroundingStore
+
+    engine = EvaluationEngine(
+        methods=("collective",), warm_start=False, cache_dir=tmp_path
+    )
+    assert engine.grounding_store == str(tmp_path / "groundings")
+    assert engine.collective_settings is not None
+    assert engine.collective_settings.grounding_store == engine.grounding_store
+    a = engine.run_grid([SMALL])
+    assert len(GroundingStore(tmp_path / "groundings").keys()) == 1
+    # Results from the store-backed path match the storeless one.
+    b = EvaluationEngine(methods=("collective",), warm_start=False).run_grid([SMALL])
+    assert [(c.run.selected, c.run.objective) for c in a.cells] == [
+        (c.run.selected, c.run.objective) for c in b.cells
+    ]
+
+
 def test_engine_threads_ground_options_into_collective():
     plain = EvaluationEngine(methods=("collective",), warm_start=False)
     sharded = EvaluationEngine(

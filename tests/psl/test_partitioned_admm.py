@@ -434,6 +434,62 @@ def test_reweight_resolve_bit_identical_to_fresh_ground_and_solve(executor):
     solver.close()
 
 
+@pytest.mark.parametrize("executor", [None, "thread:2", "process:2"])
+def test_store_attach_reweight_solve_bit_identical_to_fresh_ground(
+    executor, tmp_path
+):
+    # The disk-store acceptance contract, measured against the frozen
+    # pre-partitioning solver: attaching a spilled grounding (mmap) and
+    # reweighting it must reproduce — bit for bit — the run of a solver
+    # built on a *fresh* grounding at the new weights, under every
+    # executor, with no grounding work on the attach path.
+    from fractions import Fraction
+
+    from repro.psl.store import GroundingStore
+    from repro.selection.collective import (
+        GroundedCollective,
+        collective_structure_key,
+    )
+    from repro.selection.objective import ObjectiveWeights
+
+    scenario = generate_scenario(
+        ScenarioConfig(
+            num_primitives=4, rows_per_relation=8, pi_errors=50, pi_corresp=50, seed=13
+        )
+    )
+    problem = build_selection_problem(
+        scenario.source, scenario.target, scenario.candidates
+    )
+    base = CollectiveSettings()
+    writer = GroundedCollective(problem, base, shard_size=8)
+    store = GroundingStore(tmp_path)
+    key = collective_structure_key(problem, base)
+    assert store.put(key, writer.mrf, extra=writer.store_extra())
+    writer.close()
+
+    stored = store.load(key)
+    assert stored is not None
+    attached = GroundedCollective.from_store(problem, base, stored)
+    assert attached.stats is None  # attached, not ground
+    settings = AdmmSettings(
+        max_iterations=40, check_every=5, block_size=32, executor=executor
+    )
+    solver = AdmmSolver(attached.mrf, settings)
+    for triple in (("1", "1", "1"), ("2", "1", "1/2"), ("1/3", "5", "1")):
+        weights = ObjectiveWeights(*(Fraction(w) for w in triple))
+        attached.reweight(weights)
+        resolved = solver.solve()
+        fresh_mrf, _, _ = ground_collective(
+            problem, CollectiveSettings(weights=weights), shard_size=8
+        )
+        assert mrf_fingerprint(attached.mrf) == mrf_fingerprint(fresh_mrf)
+        reference = _ReferenceFlatSolver(
+            fresh_mrf, AdmmSettings(max_iterations=40, check_every=5)
+        ).solve()
+        _assert_identical_run(resolved, reference)
+    solver.close()
+
+
 def test_reweight_resolve_with_warm_state_matches_reference_warm_run():
     # Warm-state reuse across reweighted solves: same trajectory as the
     # frozen solver restarted from the same state on a fresh grounding.
