@@ -114,9 +114,26 @@ class Baseline:
 
 
 def baseline_from_findings(
-    findings: list[Finding], previous: Baseline | None = None
+    findings: list[Finding],
+    previous: Baseline | None = None,
+    scanned_files: list[str] | None = None,
 ) -> Baseline:
-    """Aggregate current findings into entries, keeping existing notes."""
+    """Aggregate current findings into entries, keeping existing notes.
+
+    Rewrite semantics are scoped to what was actually scanned:
+
+    * an entry whose ``(file, rule)`` still matches findings gets the
+      **current** count (never a stale larger one) — the ratchet only
+      tightens;
+    * an entry for a scanned file whose count dropped to zero is
+      **pruned** — it must not linger as headroom for new violations;
+    * an entry for a file *outside* ``scanned_files`` is carried over
+      untouched, so ``--write-baseline`` on a subtree cannot silently
+      drop (or forget) the rest of the tree's grandfathered sites.
+
+    With ``scanned_files=None`` every previous entry is considered
+    in-scope (the whole-tree rewrite).
+    """
     counts: dict[tuple[str, str], int] = {}
     for finding in findings:
         key = (finding.path, finding.rule)
@@ -125,4 +142,17 @@ def baseline_from_findings(
     for (file, rule), count in sorted(counts.items()):
         note = previous.note_for(file, rule) if previous else ""
         entries.append(BaselineEntry(file=file, rule=rule, count=count, note=note))
+    if previous is not None and scanned_files is not None:
+        normalized_scanned = [normalize_path(f) for f in scanned_files]
+        for entry in previous.entries:
+            in_scope = any(
+                _same_file(entry.file, scanned) for scanned in normalized_scanned
+            )
+            already = any(
+                _same_file(entry.file, file) and entry.rule == rule
+                for (file, rule) in counts
+            )
+            if not in_scope and not already:
+                entries.append(entry)
+        entries.sort(key=lambda e: (e.file, e.rule))
     return Baseline(entries=entries)

@@ -1,0 +1,410 @@
+"""Project-wide import and call graph for the flow-aware lint layer.
+
+The syntactic RPL00x checkers judge one module at a time; the RPL01x
+flow rules need to follow a value through calls that cross module
+boundaries.  This module builds the substrate they share:
+
+* :class:`Project` — every scanned module indexed by dotted name, with
+  all module-level functions, classes, and methods registered as
+  :class:`FunctionInfo` records keyed by :class:`FunctionId`.
+* Per-module *import maps* (local name -> dotted target) so a call
+  spelled ``sharding.ground_shards(...)`` in one file resolves to the
+  ``def`` in another.
+* :meth:`Project.resolve_call` — best-effort resolution of a call
+  expression to candidate targets, with a **conservative fallback for
+  dynamic dispatch**: an attribute call on an unknown receiver resolves
+  to every same-named method in the project, provided that set is small
+  enough to stay meaningful (bounded by
+  :data:`DYNAMIC_DISPATCH_FANOUT`); past the bound the call is treated
+  as opaque rather than guessing.
+
+Resolution is deliberately *sound for the lattice we run on it*: when a
+call cannot be resolved, the dataflow engine treats the result as
+fact-free (bottom), so unresolved dynamic dispatch can hide a finding
+but never invent one — the same "stay silent rather than cry wolf"
+contract the syntactic layer follows.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.visitor import ModuleInfo, terminal_name
+
+#: Maximum number of same-named methods an attribute call on an unknown
+#: receiver may resolve to.  Above this the name is too generic (think
+#: ``close``/``map``) for "every method of that name" to approximate the
+#: real callee set, and the call is treated as opaque instead.
+DYNAMIC_DISPATCH_FANOUT = 6
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def module_name_for_path(path: str) -> str:
+    """Dotted module name for a source *path*.
+
+    ``src/repro/psl/admm.py`` -> ``repro.psl.admm``;
+    ``benchmarks/bench_x.py`` -> ``benchmarks.bench_x``;
+    ``pkg/__init__.py`` -> ``pkg``.  A leading ``src`` component (any
+    depth of absolute prefix before it) is dropped, matching the
+    repo's ``pythonpath=src`` layout.
+    """
+    parts = path.replace("\\", "/").split("/")
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    if "src" in parts:
+        parts = parts[parts.index("src") + 1 :]
+    else:
+        # Absolute/relative prefixes outside the tree contribute noise
+        # ("/root/repo/benchmarks/x" -> "benchmarks.x"): keep the suffix
+        # from the last component that looks like a package root.
+        for anchor in ("repro", "benchmarks", "tests"):
+            if anchor in parts:
+                parts = parts[parts.index(anchor) :]
+                break
+    return ".".join(p for p in parts if p)
+
+
+@dataclass(frozen=True)
+class FunctionId:
+    """Stable identity of one function or method in the project."""
+
+    module: str  # dotted module name
+    qualname: str  # "fn" or "Cls.fn"
+
+    def __str__(self) -> str:
+        return f"{self.module}.{self.qualname}"
+
+
+@dataclass
+class FunctionInfo:
+    """One ``def`` plus the context the dataflow engine needs."""
+
+    id: FunctionId
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    module: ModuleInfo
+    class_name: str | None = None
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    def param_names(self) -> list[str]:
+        args = self.node.args
+        names = [a.arg for a in args.posonlyargs]
+        names += [a.arg for a in args.args]
+        if args.vararg:
+            names.append(args.vararg.arg)
+        names += [a.arg for a in args.kwonlyargs]
+        if args.kwarg:
+            names.append(args.kwarg.arg)
+        return names
+
+
+@dataclass
+class CallSite:
+    """One call expression inside a function, with resolved targets."""
+
+    caller: FunctionId
+    call: ast.Call
+    targets: tuple[FunctionId, ...]  # empty = unresolved/opaque
+
+
+@dataclass
+class Project:
+    """Every scanned module plus the cross-module indexes."""
+
+    modules: dict[str, ModuleInfo] = field(default_factory=dict)
+    functions: dict[FunctionId, FunctionInfo] = field(default_factory=dict)
+    #: method/function name -> every FunctionId carrying it (dispatch
+    #: fallback index).
+    by_name: dict[str, list[FunctionId]] = field(default_factory=dict)
+    #: class name -> (module name, ClassDef) for constructor resolution.
+    classes: dict[str, list[tuple[str, ast.ClassDef]]] = field(
+        default_factory=dict
+    )
+    #: module name -> {local name: dotted target} import map.
+    import_maps: dict[str, dict[str, str]] = field(default_factory=dict)
+    #: dotted-name resolution memo (top-level lookups only).
+    _lookup_cache: dict[str, "FunctionId | None"] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # construction
+
+    @classmethod
+    def from_modules(cls, modules: list[ModuleInfo]) -> "Project":
+        project = cls()
+        for module in modules:
+            project._index_module(module)
+        return project
+
+    def _index_module(self, module: ModuleInfo) -> None:
+        mod_name = module_name_for_path(module.path)
+        self.modules[mod_name] = module
+        self.import_maps[mod_name] = _import_map(module)
+        for stmt in module.tree.body:
+            if isinstance(stmt, _FUNCTION_NODES):
+                self._register(module, mod_name, stmt, class_name=None)
+            elif isinstance(stmt, ast.ClassDef):
+                self.classes.setdefault(stmt.name, []).append((mod_name, stmt))
+                for item in stmt.body:
+                    if isinstance(item, _FUNCTION_NODES):
+                        self._register(
+                            module, mod_name, item, class_name=stmt.name
+                        )
+
+    def _register(
+        self,
+        module: ModuleInfo,
+        mod_name: str,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        class_name: str | None,
+    ) -> None:
+        qualname = f"{class_name}.{node.name}" if class_name else node.name
+        fid = FunctionId(module=mod_name, qualname=qualname)
+        self.functions[fid] = FunctionInfo(
+            id=fid, node=node, module=module, class_name=class_name
+        )
+        self.by_name.setdefault(node.name, []).append(fid)
+
+    # ------------------------------------------------------------------
+    # lookup
+
+    def function(self, fid: FunctionId) -> FunctionInfo | None:
+        return self.functions.get(fid)
+
+    def lookup_dotted(
+        self, dotted: str, _seen: frozenset[str] = frozenset()
+    ) -> FunctionId | None:
+        """Resolve ``pkg.mod.fn`` / ``pkg.mod.Cls.meth`` to a FunctionId.
+
+        Also follows re-export hops through package ``__init__`` files
+        (``from .sub import fn``), which is how ``repro.selection``
+        republishes ``solve_collective``.  ``_seen`` breaks re-export
+        cycles (``a`` imports from ``b`` which imports back from ``a``
+        — real in circular-import workarounds).
+        """
+        # Aliased re-exports can *grow* the dotted name each hop, so the
+        # seen-set alone does not terminate — cap the hop depth too.
+        if dotted in _seen or len(_seen) > 16:
+            return None
+        top_level = not _seen
+        if top_level and dotted in self._lookup_cache:
+            return self._lookup_cache[dotted]
+        _seen = _seen | {dotted}
+        result: FunctionId | None = None
+        for split in range(dotted.count(".") + 1, 0, -1):
+            parts = dotted.split(".")
+            mod, rest = ".".join(parts[:split]), ".".join(parts[split:])
+            if mod not in self.modules or not rest:
+                continue
+            fid = FunctionId(module=mod, qualname=rest)
+            if fid in self.functions:
+                result = fid
+                break
+            # Re-export hop: the package __init__ imported the name.
+            reexport = self.import_maps.get(mod, {}).get(rest.split(".")[0])
+            if reexport is not None:
+                tail = rest.split(".")[1:]
+                target = ".".join([reexport, *tail]) if tail else reexport
+                resolved = self.lookup_dotted(target, _seen)
+                if resolved is not None:
+                    result = resolved
+                    break
+        if top_level:
+            self._lookup_cache[dotted] = result
+        return result
+
+    def constructor_of(self, class_name: str) -> FunctionId | None:
+        """``Cls.__init__`` when the class (and its init) is in-project."""
+        for mod_name, cls_node in self.classes.get(class_name, []):
+            fid = FunctionId(module=mod_name, qualname=f"{class_name}.__init__")
+            if fid in self.functions:
+                return fid
+        return None
+
+    def class_has_base(self, class_name: str, base_names: frozenset[str]) -> bool:
+        """True when *class_name* or any in-project ancestor is in *base_names*."""
+        if class_name in base_names:
+            return True
+        seen = {class_name}
+        stack = [class_name]
+        while stack:
+            for _mod, node in self.classes.get(stack.pop(), []):
+                for base in node.bases:
+                    name = terminal_name(base)
+                    if name is None or name in seen:
+                        continue
+                    if name in base_names:
+                        return True
+                    seen.add(name)
+                    stack.append(name)
+        return False
+
+    # ------------------------------------------------------------------
+    # call resolution
+
+    def resolve_call(
+        self, module: ModuleInfo, call: ast.Call, class_name: str | None = None
+    ) -> tuple[FunctionId, ...]:
+        """Candidate targets of *call* as seen from *module*.
+
+        Empty tuple means opaque: a builtin, an external library, or
+        dynamic dispatch too wide to enumerate.
+        """
+        return self.resolve_callee_expr(module, call.func, class_name)
+
+    def resolve_callee_expr(
+        self,
+        module: ModuleInfo,
+        func: ast.AST,
+        class_name: str | None = None,
+    ) -> tuple[FunctionId, ...]:
+        mod_name = module_name_for_path(module.path)
+        import_map = self.import_maps.get(mod_name, {})
+
+        if isinstance(func, ast.Name):
+            name = func.id
+            # Same-module def wins over a shadowed import.
+            fid = FunctionId(module=mod_name, qualname=name)
+            if fid in self.functions:
+                return (fid,)
+            if name in import_map:
+                resolved = self.lookup_dotted(import_map[name])
+                if resolved is not None:
+                    return (resolved,)
+                ctor = self.constructor_of(import_map[name].split(".")[-1])
+                if ctor is not None:
+                    return (ctor,)
+            ctor = self.constructor_of(name)
+            if ctor is not None and any(
+                mod == mod_name for mod, _ in self.classes.get(name, [])
+            ):
+                return (ctor,)
+            return ()
+
+        if isinstance(func, ast.Attribute):
+            attr = func.attr
+            base = func.value
+            # self.method() inside a class body.
+            if (
+                isinstance(base, ast.Name)
+                and base.id in ("self", "cls")
+                and class_name is not None
+            ):
+                resolved = self._resolve_method(class_name, attr)
+                if resolved:
+                    return resolved
+            # module_alias.fn() through the import map.
+            dotted = _dotted(base)
+            if dotted is not None:
+                root = dotted.split(".")[0]
+                target_prefix = import_map.get(root)
+                if target_prefix is not None:
+                    full = ".".join(
+                        [target_prefix, *dotted.split(".")[1:], attr]
+                    )
+                    resolved_fid = self.lookup_dotted(full)
+                    if resolved_fid is not None:
+                        return (resolved_fid,)
+                if dotted in self.modules:
+                    fid = FunctionId(module=dotted, qualname=attr)
+                    if fid in self.functions:
+                        return (fid,)
+            # Conservative dynamic-dispatch fallback: every method of
+            # that name, when the set is small enough to mean something.
+            candidates = tuple(
+                fid
+                for fid in self.by_name.get(attr, ())
+                if self.functions[fid].class_name is not None
+            )
+            if 0 < len(candidates) <= DYNAMIC_DISPATCH_FANOUT:
+                return candidates
+            return ()
+
+        return ()
+
+    def _resolve_method(
+        self, class_name: str, attr: str
+    ) -> tuple[FunctionId, ...]:
+        """Resolve ``self.attr`` against *class_name* and its ancestors."""
+        seen = set()
+        stack = [class_name]
+        while stack:
+            current = stack.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            for mod_name, cls_node in self.classes.get(current, []):
+                fid = FunctionId(
+                    module=mod_name, qualname=f"{current}.{attr}"
+                )
+                if fid in self.functions:
+                    return (fid,)
+                for base in cls_node.bases:
+                    name = terminal_name(base)
+                    if name is not None:
+                        stack.append(name)
+        return ()
+
+    # ------------------------------------------------------------------
+    # iteration helpers
+
+    def call_sites(self, fn: FunctionInfo) -> list[CallSite]:
+        """Every call inside *fn*'s own body (nested defs excluded)."""
+        sites = []
+        for node in _walk_function_body(fn.node):
+            if isinstance(node, ast.Call):
+                sites.append(
+                    CallSite(
+                        caller=fn.id,
+                        call=node,
+                        targets=self.resolve_call(
+                            fn.module, node, fn.class_name
+                        ),
+                    )
+                )
+        return sites
+
+
+def _dotted(expr: ast.AST) -> str | None:
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        base = _dotted(expr.value)
+        return f"{base}.{expr.attr}" if base else None
+    return None
+
+
+def _import_map(module: ModuleInfo) -> dict[str, str]:
+    """Local name -> dotted target for every import in *module*."""
+    mapping: dict[str, str] = {}
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                # `import a.b.c` binds `a`; `import a.b.c as x` binds the
+                # full dotted path to `x`.
+                if alias.asname:
+                    mapping[alias.asname] = alias.name
+                else:
+                    root = alias.name.split(".")[0]
+                    mapping[root] = root
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            for alias in node.names:
+                local = alias.asname or alias.name
+                mapping[local] = f"{node.module}.{alias.name}"
+    return mapping
+
+
+def _walk_function_body(fn: ast.FunctionDef | ast.AsyncFunctionDef):
+    """ast.walk over *fn* minus the bodies of nested function defs."""
+    stack: list[ast.AST] = list(ast.iter_child_nodes(fn))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, _FUNCTION_NODES + (ast.Lambda,)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))

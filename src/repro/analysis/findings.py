@@ -20,16 +20,27 @@ def normalize_path(path: str) -> str:
 class Finding:
     """One rule violation: where it is, which rule, and why it matters."""
 
-    rule: str  # "RPL001"..."RPL005"
+    rule: str  # "RPL001"..."RPL013"
     message: str
     path: str  # normalized (forward slashes), as scanned
     line: int  # 1-based
     col: int = 0  # 0-based, like ast
+    #: Witness call chain for flow (RPL01x) findings: ordered
+    #: ``(path, line, note)`` steps from where the fact was born to the
+    #: flagged site.  Empty for the syntactic RPL00x rules.
+    chain: tuple[tuple[str, int, str], ...] = ()
     #: True once the baseline grandfathers this finding (set by the runner).
     baselined: bool = field(default=False, compare=False)
 
     def located(self) -> str:
         return f"{self.path}:{self.line}:{self.col}"
+
+    def chain_text(self) -> list[str]:
+        """The witness chain as indented reporter lines."""
+        return [
+            f"    via {normalize_path(path)}:{line}: {note}"
+            for path, line, note in self.chain
+        ]
 
     def to_json(self) -> dict:
         return {
@@ -38,8 +49,15 @@ class Finding:
             "file": self.path,
             "line": self.line,
             "col": self.col,
+            "chain": [
+                {"file": normalize_path(path), "line": line, "note": note}
+                for path, line, note in self.chain
+            ],
             "baselined": self.baselined,
         }
 
     def __str__(self) -> str:
-        return f"{self.located()}: {self.rule} {self.message}"
+        body = f"{self.located()}: {self.rule} {self.message}"
+        if self.chain:
+            body = "\n".join([body, *self.chain_text()])
+        return body

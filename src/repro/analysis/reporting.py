@@ -1,4 +1,4 @@
-"""Text and JSON reporters for repro-lint results."""
+"""Text, JSON, and GitHub-annotation reporters for repro-lint results."""
 
 from __future__ import annotations
 
@@ -7,7 +7,7 @@ from dataclasses import dataclass, field
 
 from repro.analysis.findings import Finding
 
-REPORT_VERSION = 1
+REPORT_VERSION = 2
 TOOL_NAME = "repro-lint"
 
 
@@ -20,6 +20,8 @@ class LintReport:
     suppressed_count: int = 0
     files_scanned: int = 0
     parse_errors: list[str] = field(default_factory=list)
+    #: True when the whole-program RPL01x pass ran.
+    flow: bool = False
 
     @property
     def exit_code(self) -> int:
@@ -36,6 +38,7 @@ class LintReport:
             "version": REPORT_VERSION,
             "tool": TOOL_NAME,
             "files_scanned": self.files_scanned,
+            "flow": self.flow,
             "summary": {
                 "new": len(self.new),
                 "baselined": len(self.baselined),
@@ -69,5 +72,46 @@ def render_text(report: LintReport) -> str:
         f"{report.suppressed_count} suppressed) "
         f"in {report.files_scanned} file(s)"
     )
+    if report.flow:
+        summary += " [flow pass on]"
     lines.append(summary)
+    return "\n".join(lines) + "\n"
+
+
+def _annotation_escape(text: str) -> str:
+    """Escape per GitHub workflow-command rules (%, CR, LF in messages)."""
+    return (
+        text.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+    )
+
+
+def render_github(report: LintReport) -> str:
+    """GitHub Actions annotation format: findings appear inline on PRs.
+
+    One ``::error`` line per new finding (witness chain folded into the
+    message), ``::warning`` for parse errors, then the human summary —
+    GitHub ignores non-command lines, so the output stays readable in
+    the raw log too.
+    """
+    lines: list[str] = []
+    for error in report.parse_errors:
+        lines.append(f"::warning title={TOOL_NAME}::{_annotation_escape(error)}")
+    for finding in sorted(report.new, key=lambda f: (f.path, f.line, f.rule)):
+        message = finding.message
+        if finding.chain:
+            steps = "; ".join(
+                f"{path}:{line} {note}" for path, line, note in finding.chain
+            )
+            message = f"{message} [witness: {steps}]"
+        lines.append(
+            f"::error file={finding.path},line={finding.line},"
+            f"col={finding.col + 1},title={TOOL_NAME} {finding.rule}::"
+            f"{_annotation_escape(message)}"
+        )
+    lines.append(
+        f"{TOOL_NAME}: {len(report.new)} finding(s) "
+        f"({len(report.baselined)} baselined, "
+        f"{report.suppressed_count} suppressed) "
+        f"in {report.files_scanned} file(s)"
+    )
     return "\n".join(lines) + "\n"

@@ -6,6 +6,11 @@ Two entry points:
 * :func:`lint_sources` — in-memory ``{path: source}`` mappings, used by
   the test fixtures so each checker can be exercised without touching
   the real tree.
+
+Both take ``flow=True`` to stack the whole-program RPL01x pass (call
+graph + dataflow engine, :mod:`repro.analysis.flow_rules`) on top of
+the per-module syntactic rules.  Flow findings run through the same
+suppression and baseline machinery as syntactic ones.
 """
 
 from __future__ import annotations
@@ -38,11 +43,26 @@ def collect_files(paths) -> list[Path]:
     return list(seen)
 
 
+def _run_flow(modules: list[ModuleInfo], flow_checkers_list) -> list[Finding]:
+    """The whole-program pass: one Project + engine, every flow rule."""
+    from repro.analysis.callgraph import Project
+    from repro.analysis.dataflow import DataflowEngine
+
+    project = Project.from_modules(modules)
+    engine = DataflowEngine(project)
+    findings: list[Finding] = []
+    for checker in flow_checkers_list:
+        findings.extend(checker.check_project(project, engine))
+    return findings
+
+
 def _run(
     modules: list[ModuleInfo],
     checkers: list[Checker],
     baseline: Baseline | None,
     parse_errors: list[str],
+    flow: bool = False,
+    flow_checkers: list | None = None,
 ) -> LintReport:
     raw: list[Finding] = []
     for module in modules:
@@ -51,6 +71,13 @@ def _run(
                 raw.extend(checker.check(module))
     for checker in checkers:
         raw.extend(checker.finalize())
+
+    if flow:
+        if flow_checkers is None:
+            from repro.analysis.flow_rules import flow_checkers as _default_flow
+
+            flow_checkers = _default_flow()
+        raw.extend(_run_flow(modules, flow_checkers))
 
     suppression_tables = {
         module.path: parse_suppressions(module.lines) for module in modules
@@ -77,6 +104,7 @@ def _run(
         suppressed_count=suppressed,
         files_scanned=len(modules),
         parse_errors=parse_errors,
+        flow=flow,
     )
 
 
@@ -84,6 +112,8 @@ def lint_sources(
     sources: dict[str, str],
     checkers: list[Checker] | None = None,
     baseline: Baseline | None = None,
+    flow: bool = False,
+    flow_checkers: list | None = None,
 ) -> LintReport:
     """Lint in-memory sources keyed by (possibly fake) module paths."""
     modules = []
@@ -98,6 +128,8 @@ def lint_sources(
         checkers if checkers is not None else default_checkers(),
         baseline,
         parse_errors,
+        flow=flow,
+        flow_checkers=flow_checkers,
     )
 
 
@@ -105,10 +137,18 @@ def lint_paths(
     paths,
     checkers: list[Checker] | None = None,
     baseline: Baseline | None = None,
+    flow: bool = False,
+    flow_checkers: list | None = None,
 ) -> LintReport:
     """Lint files/directories on disk."""
     files = collect_files(paths)
     sources: dict[str, str] = {}
     for file in files:
         sources[str(file)] = file.read_text(encoding="utf-8")
-    return lint_sources(sources, checkers=checkers, baseline=baseline)
+    return lint_sources(
+        sources,
+        checkers=checkers,
+        baseline=baseline,
+        flow=flow,
+        flow_checkers=flow_checkers,
+    )

@@ -221,7 +221,8 @@ def _build_parser() -> argparse.ArgumentParser:
 
     lint = sub.add_parser(
         "lint",
-        help="run the repro-lint invariant checkers (RPL001-RPL005)",
+        help="run the repro-lint invariant checkers (RPL001-RPL005 "
+        "syntactic, RPL010-RPL013 flow)",
     )
     lint.add_argument(
         "paths",
@@ -230,10 +231,24 @@ def _build_parser() -> argparse.ArgumentParser:
         help="files or directories to lint (default: src/repro)",
     )
     lint.add_argument(
+        "--flow",
+        action="store_true",
+        dest="flow",
+        default=False,
+        help="also run the whole-program flow pass (call graph + "
+        "dataflow, rules RPL010-RPL013)",
+    )
+    lint.add_argument(
+        "--no-flow",
+        action="store_false",
+        dest="flow",
+        help="syntactic rules only (the default)",
+    )
+    lint.add_argument(
         "--format",
-        choices=["text", "json"],
+        choices=["text", "json", "github"],
         default="text",
-        help="stdout report format",
+        help="stdout report format (github = Actions annotations)",
     )
     lint.add_argument(
         "--baseline",
@@ -504,8 +519,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     from repro.analysis.baseline import Baseline, baseline_from_findings
-    from repro.analysis.reporting import render_json, render_text
-    from repro.analysis.runner import lint_paths
+    from repro.analysis.reporting import render_github, render_json, render_text
+    from repro.analysis.runner import collect_files, lint_paths
 
     baseline = None
     baseline_path = args.baseline
@@ -522,15 +537,30 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             return 2
 
     try:
-        report = lint_paths(args.paths, baseline=baseline)
+        report = lint_paths(args.paths, baseline=baseline, flow=args.flow)
     except FileNotFoundError as exc:
         print(f"repro lint: no such file or directory: {exc}", file=sys.stderr)
         return 2
 
     if args.write_baseline:
         target = args.baseline or "lint-baseline.json"
+        # Scope the rewrite to what was scanned: zero-count entries for
+        # scanned files are pruned (the ratchet tightens), entries for
+        # unscanned files carry over untouched.  The previous file is
+        # read even under --no-baseline — that flag skips *applying*
+        # the baseline to this run, not the notes/out-of-scope entries
+        # the rewrite must preserve.
+        previous = baseline
+        if previous is None and Path(target).is_file():
+            try:
+                previous = Baseline.load(target)
+            except (OSError, ValueError, KeyError):
+                previous = None
+        scanned = [str(f) for f in collect_files(args.paths)]
         updated = baseline_from_findings(
-            report.new + report.baselined, previous=baseline
+            report.new + report.baselined,
+            previous=previous,
+            scanned_files=scanned,
         )
         updated.save(target)
         print(f"wrote {target}: {len(updated.entries)} entr(y/ies)")
@@ -540,6 +570,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         Path(args.output).write_text(render_json(report), encoding="utf-8")
     if args.format == "json":
         sys.stdout.write(render_json(report))
+    elif args.format == "github":
+        sys.stdout.write(render_github(report))
     else:
         sys.stdout.write(render_text(report))
     return report.exit_code

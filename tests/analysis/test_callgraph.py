@@ -1,0 +1,214 @@
+"""Call-graph layer: name resolution, import maps, dispatch fallback."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.callgraph import (
+    DYNAMIC_DISPATCH_FANOUT,
+    FunctionId,
+    Project,
+    module_name_for_path,
+)
+from repro.analysis.visitor import ModuleInfo
+
+
+def project_of(sources: dict[str, str]) -> Project:
+    return Project.from_modules(
+        [ModuleInfo.from_source(path, text) for path, text in sources.items()]
+    )
+
+
+def first_call(project: Project, module: str, qualname: str):
+    fn = project.function(FunctionId(module=module, qualname=qualname))
+    assert fn is not None, f"{module}.{qualname} not indexed"
+    for node in ast.walk(fn.node):
+        if isinstance(node, ast.Call):
+            return fn, node
+    raise AssertionError("no call in fixture function")
+
+
+class TestModuleNames:
+    def test_src_prefix_stripped(self):
+        assert module_name_for_path("src/repro/psl/admm.py") == "repro.psl.admm"
+
+    def test_absolute_prefix_anchored_at_package_root(self):
+        assert (
+            module_name_for_path("/abs/checkout/src/repro/cli.py")
+            == "repro.cli"
+        )
+        assert (
+            module_name_for_path("/abs/benchmarks/bench_x.py")
+            == "benchmarks.bench_x"
+        )
+
+    def test_package_init_maps_to_package(self):
+        assert module_name_for_path("src/repro/psl/__init__.py") == "repro.psl"
+
+
+class TestResolution:
+    def test_same_module_def_resolves(self):
+        project = project_of(
+            {"src/repro/a.py": "def g():\n    pass\n\ndef f():\n    g()\n"}
+        )
+        fn, call = first_call(project, "repro.a", "f")
+        assert project.resolve_call(fn.module, call) == (
+            FunctionId("repro.a", "g"),
+        )
+
+    def test_from_import_resolves_cross_module(self):
+        project = project_of(
+            {
+                "src/repro/lib.py": "def helper():\n    pass\n",
+                "src/repro/use.py": (
+                    "from repro.lib import helper\n\n"
+                    "def f():\n    helper()\n"
+                ),
+            }
+        )
+        fn, call = first_call(project, "repro.use", "f")
+        assert project.resolve_call(fn.module, call) == (
+            FunctionId("repro.lib", "helper"),
+        )
+
+    def test_module_alias_attribute_resolves(self):
+        project = project_of(
+            {
+                "src/repro/lib.py": "def helper():\n    pass\n",
+                "src/repro/use.py": (
+                    "import repro.lib as lib\n\n"
+                    "def f():\n    lib.helper()\n"
+                ),
+            }
+        )
+        fn, call = first_call(project, "repro.use", "f")
+        assert project.resolve_call(fn.module, call) == (
+            FunctionId("repro.lib", "helper"),
+        )
+
+    def test_reexport_hop_through_package_init(self):
+        project = project_of(
+            {
+                "src/repro/pkg/__init__.py": "from repro.pkg.impl import run\n",
+                "src/repro/pkg/impl.py": "def run():\n    pass\n",
+                "src/repro/use.py": (
+                    "from repro.pkg import run\n\ndef f():\n    run()\n"
+                ),
+            }
+        )
+        fn, call = first_call(project, "repro.use", "f")
+        assert project.resolve_call(fn.module, call) == (
+            FunctionId("repro.pkg.impl", "run"),
+        )
+
+    def test_reexport_cycle_terminates(self):
+        # a re-exports from b, b re-exports back from a: resolution must
+        # return None (opaque), not recurse forever.
+        project = project_of(
+            {
+                "src/repro/a.py": "from repro.b import thing\n",
+                "src/repro/b.py": "from repro.a import thing\n",
+            }
+        )
+        assert project.lookup_dotted("repro.a.thing") is None
+
+    def test_aliased_reexport_growth_terminates(self):
+        # `from x.y import z as y` inside package x grows the dotted
+        # name every hop; the depth cap must stop it.
+        project = project_of(
+            {
+                "src/x/__init__.py": "from x.y import z as y\n",
+                "src/x/y.py": "",
+            }
+        )
+        assert project.lookup_dotted("x.y.q") is None
+
+    def test_self_method_resolves_through_base_class(self):
+        project = project_of(
+            {
+                "src/repro/m.py": (
+                    "class Base:\n"
+                    "    def helper(self):\n        pass\n"
+                    "class Child(Base):\n"
+                    "    def f(self):\n        self.helper()\n"
+                )
+            }
+        )
+        fn, call = first_call(project, "repro.m", "Child.f")
+        assert project.resolve_call(fn.module, call, "Child") == (
+            FunctionId("repro.m", "Base.helper"),
+        )
+
+    def test_dispatch_fallback_bounded(self):
+        # One class defining `step`: attribute call on unknown receiver
+        # resolves to it.  Too many same-named methods: opaque.
+        small = project_of(
+            {
+                "src/repro/m.py": (
+                    "class A:\n    def step(self):\n        pass\n"
+                    "def f(x):\n    x.step()\n"
+                )
+            }
+        )
+        fn, call = first_call(small, "repro.m", "f")
+        assert small.resolve_call(fn.module, call) == (
+            FunctionId("repro.m", "A.step"),
+        )
+
+        many_classes = "".join(
+            f"class C{i}:\n    def step(self):\n        pass\n"
+            for i in range(DYNAMIC_DISPATCH_FANOUT + 1)
+        )
+        wide = project_of(
+            {"src/repro/m.py": many_classes + "def f(x):\n    x.step()\n"}
+        )
+        fn, call = first_call(wide, "repro.m", "f")
+        assert wide.resolve_call(fn.module, call) == ()
+
+    def test_call_sites_exclude_nested_defs(self):
+        project = project_of(
+            {
+                "src/repro/m.py": (
+                    "def f():\n"
+                    "    def inner():\n"
+                    "        hidden()\n"
+                    "    outer()\n"
+                    "def outer():\n    pass\n"
+                    "def hidden():\n    pass\n"
+                )
+            }
+        )
+        fn = project.function(FunctionId("repro.m", "f"))
+        sites = project.call_sites(fn)
+        names = {
+            site.call.func.id
+            for site in sites
+            if isinstance(site.call.func, ast.Name)
+        }
+        assert names == {"outer"}
+
+
+class TestClassHierarchy:
+    def test_class_has_base_transitive(self):
+        project = project_of(
+            {
+                "src/repro/m.py": (
+                    "class Owner:\n    pass\n"
+                    "class Mid(Owner):\n    pass\n"
+                    "class Leaf(Mid):\n    pass\n"
+                )
+            }
+        )
+        assert project.class_has_base("Leaf", frozenset({"Owner"}))
+        assert not project.class_has_base("Owner", frozenset({"Leaf"}))
+
+    def test_class_has_base_cycle_safe(self):
+        project = project_of(
+            {
+                "src/repro/m.py": (
+                    "class A(B):\n    pass\n"
+                    "class B(A):\n    pass\n"
+                )
+            }
+        )
+        assert not project.class_has_base("A", frozenset({"Z"}))

@@ -79,6 +79,140 @@ def test_output_file_written_even_with_text_format(tmp_path, capsys):
     assert json.loads(out_file.read_text(encoding="utf-8"))["tool"] == "repro-lint"
 
 
+TRANSITIVE = textwrap.dedent(
+    """
+    def make_work():
+        return lambda x: x + 1
+
+    def run(executor, items):
+        work = make_work()
+        return executor.map(work, items)
+    """
+).lstrip("\n")
+
+TWO_LOCK_CYCLE = textwrap.dedent(
+    """
+    import threading
+    a_lock = threading.Lock()
+    b_lock = threading.Lock()
+
+    def one():
+        with a_lock:
+            with b_lock:
+                pass
+
+    def two():
+        with b_lock:
+            with a_lock:
+                pass
+    """
+).lstrip("\n")
+
+
+def test_flow_flag_enables_rpl01x(tmp_path, capsys):
+    target = write(tmp_path, "transitive.py", TRANSITIVE)
+    # Without --flow the transitive closure is invisible...
+    assert main(["lint", str(target), "--no-baseline"]) == 0
+    capsys.readouterr()
+    # ...with it, RPL010 fires and prints the witness chain.
+    assert main(["lint", str(target), "--flow", "--no-baseline"]) == 1
+    out = capsys.readouterr().out
+    assert "RPL010" in out
+    assert "via " in out
+    assert "[flow pass on]" in out
+
+
+def test_no_flow_flag_overrides(tmp_path, capsys):
+    target = write(tmp_path, "transitive.py", TRANSITIVE)
+    assert main(
+        ["lint", str(target), "--flow", "--no-flow", "--no-baseline"]
+    ) == 0
+    capsys.readouterr()
+
+
+def test_flow_lock_cycle_from_cli(tmp_path, capsys):
+    target = write(tmp_path, "locks.py", TWO_LOCK_CYCLE)
+    assert main(["lint", str(target), "--flow", "--no-baseline"]) == 1
+    assert "RPL012" in capsys.readouterr().out
+
+
+def test_github_format(tmp_path, capsys):
+    target = write(tmp_path, "bad.py", VIOLATION)
+    assert main(
+        ["lint", str(target), "--no-baseline", "--format", "github"]
+    ) == 1
+    out = capsys.readouterr().out
+    assert "::error file=" in out
+    assert "title=repro-lint RPL001::" in out
+
+
+def test_github_format_includes_witness_chain(tmp_path, capsys):
+    target = write(tmp_path, "transitive.py", TRANSITIVE)
+    main(
+        ["lint", str(target), "--flow", "--no-baseline", "--format", "github"]
+    )
+    out = capsys.readouterr().out
+    assert "[witness:" in out
+
+
+def test_json_output_carries_chain(tmp_path, capsys):
+    target = write(tmp_path, "transitive.py", TRANSITIVE)
+    out_file = tmp_path / "lint.json"
+    main(
+        ["lint", str(target), "--flow", "--no-baseline", "--format", "json",
+         "--output", str(out_file)]
+    )
+    capsys.readouterr()
+    payload = json.loads(out_file.read_text(encoding="utf-8"))
+    assert payload["flow"] is True
+    rpl010 = [f for f in payload["findings"] if f["rule"] == "RPL010"]
+    assert rpl010 and len(rpl010[0]["chain"]) >= 2
+    assert set(rpl010[0]["chain"][0]) == {"file", "line", "note"}
+
+
+def test_write_baseline_prunes_fixed_entries(tmp_path, capsys):
+    target = write(tmp_path, "bad.py", VIOLATION)
+    baseline = tmp_path / "baseline.json"
+
+    assert main(
+        ["lint", str(target), "--baseline", str(baseline), "--write-baseline",
+         "--no-baseline"]
+    ) == 0
+    capsys.readouterr()
+    assert json.loads(baseline.read_text(encoding="utf-8"))["entries"]
+
+    # Fix the site, rewrite: the stale zero-count entry must vanish.
+    write(tmp_path, "bad.py", CLEAN)
+    assert main(
+        ["lint", str(target), "--baseline", str(baseline), "--write-baseline",
+         "--no-baseline"]
+    ) == 0
+    capsys.readouterr()
+    assert json.loads(baseline.read_text(encoding="utf-8"))["entries"] == []
+
+
+def test_write_baseline_keeps_out_of_scope_entries(tmp_path, capsys):
+    bad = write(tmp_path, "bad.py", VIOLATION)
+    other = write(tmp_path, "other.py", VIOLATION)
+    baseline = tmp_path / "baseline.json"
+
+    # Baseline both files, then rewrite scanning only one of them.
+    assert main(
+        ["lint", str(bad), str(other), "--baseline", str(baseline),
+         "--write-baseline", "--no-baseline"]
+    ) == 0
+    capsys.readouterr()
+    write(tmp_path, "bad.py", CLEAN)
+    assert main(
+        ["lint", str(bad), "--baseline", str(baseline), "--write-baseline",
+         "--no-baseline"]
+    ) == 0
+    capsys.readouterr()
+    entries = json.loads(baseline.read_text(encoding="utf-8"))["entries"]
+    # bad.py's entry pruned; other.py's survives untouched.
+    assert [e["file"].endswith("other.py") for e in entries] == [True]
+
+
 def test_write_baseline_then_ratchet(tmp_path, capsys):
     target = write(tmp_path, "bad.py", VIOLATION)
     baseline = tmp_path / "baseline.json"

@@ -1,0 +1,34 @@
+"""Analysis-budget guard: the flow pass must stay interactive-fast.
+
+The whole point of summary-based (rather than per-context) propagation
+is that the flow pass scales linearly-ish with the tree.  This test
+pins that property: the full pass over ``src/`` must finish well under
+the 10 s budget the CI lint job assumes.  If a change to the engine
+regresses this, the test names the cost before CI does.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from repro.analysis.runner import lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: Hard ceiling from the CI contract; generous vs the ~2 s measured so
+#: only an algorithmic regression (not machine noise) can trip it.
+FLOW_BUDGET_SECONDS = 10.0
+
+
+def test_whole_src_flow_pass_under_budget():
+    src = REPO_ROOT / "src"
+    assert src.is_dir()
+    start = time.perf_counter()
+    report = lint_paths([str(src)], flow=True)
+    elapsed = time.perf_counter() - start
+    assert report.files_scanned > 50  # the real tree, not a stub
+    assert elapsed < FLOW_BUDGET_SECONDS, (
+        f"flow pass took {elapsed:.1f}s over src/ "
+        f"(budget {FLOW_BUDGET_SECONDS}s)"
+    )

@@ -12,7 +12,12 @@ from repro.analysis.baseline import (
     baseline_from_findings,
 )
 from repro.analysis.findings import Finding
-from repro.analysis.reporting import LintReport, render_json, render_text
+from repro.analysis.reporting import (
+    LintReport,
+    render_github,
+    render_json,
+    render_text,
+)
 from repro.analysis.runner import lint_sources
 from repro.analysis.suppressions import is_suppressed, parse_suppressions
 from repro.analysis.visitor import ModuleInfo
@@ -116,6 +121,64 @@ class TestBaselineRatchet:
             Baseline.load(path)
 
 
+class TestBaselineRewrite:
+    """--write-baseline semantics: prune stale entries, keep out-of-scope."""
+
+    def test_zero_count_entry_for_scanned_file_is_pruned(self):
+        previous = Baseline(
+            [BaselineEntry("src/repro/psl/x.py", "RPL002", 3, note="old")]
+        )
+        rewritten = baseline_from_findings(
+            [],  # the site was fixed: no findings remain
+            previous=previous,
+            scanned_files=["src/repro/psl/x.py"],
+        )
+        assert rewritten.entries == []
+
+    def test_count_ratchets_down_to_current(self):
+        previous = Baseline([BaselineEntry("src/repro/psl/x.py", "RPL002", 5)])
+        rewritten = baseline_from_findings(
+            [finding(line=3)],
+            previous=previous,
+            scanned_files=["src/repro/psl/x.py"],
+        )
+        assert len(rewritten.entries) == 1
+        assert rewritten.entries[0].count == 1
+
+    def test_out_of_scope_entries_are_carried_over(self):
+        previous = Baseline(
+            [
+                BaselineEntry("src/repro/psl/x.py", "RPL002", 2),
+                BaselineEntry("src/repro/other.py", "RPL004", 1, note="pool"),
+            ]
+        )
+        rewritten = baseline_from_findings(
+            [finding(line=3)],
+            previous=previous,
+            scanned_files=["src/repro/psl/x.py"],  # other.py NOT scanned
+        )
+        by_file = {e.file: e for e in rewritten.entries}
+        assert by_file["src/repro/psl/x.py"].count == 1  # ratcheted
+        assert by_file["src/repro/other.py"].count == 1  # untouched
+        assert by_file["src/repro/other.py"].note == "pool"
+
+    def test_whole_tree_rewrite_drops_everything_stale(self):
+        previous = Baseline(
+            [
+                BaselineEntry("a.py", "RPL001", 1),
+                BaselineEntry("b.py", "RPL002", 2),
+            ]
+        )
+        rewritten = baseline_from_findings(
+            [finding(rule="RPL002", path="b.py")],
+            previous=previous,
+            scanned_files=None,  # whole-tree rewrite: everything in scope
+        )
+        assert [(e.file, e.rule, e.count) for e in rewritten.entries] == [
+            ("b.py", "RPL002", 1)
+        ]
+
+
 class TestReporters:
     def _report(self):
         return LintReport(
@@ -129,9 +192,10 @@ class TestReporters:
 
     def test_json_schema(self):
         payload = json.loads(render_json(self._report()))
-        assert payload["version"] == 1
+        assert payload["version"] == 2
         assert payload["tool"] == "repro-lint"
         assert payload["files_scanned"] == 4
+        assert payload["flow"] is False
         assert payload["summary"] == {
             "new": 1,
             "baselined": 1,
@@ -143,9 +207,27 @@ class TestReporters:
         for item in payload["findings"]:
             assert set(item) == {
                 "rule", "message", "file", "line", "col", "baselined",
+                "chain",
             }
         flags = {item["rule"]: item["baselined"] for item in payload["findings"]}
         assert flags == {"RPL002": False, "RPL004": True}
+
+    def test_json_chain_structure(self):
+        report = LintReport(
+            new=[
+                Finding(
+                    "RPL010",
+                    "m",
+                    "src/repro/a.py",
+                    4,
+                    chain=(("src/repro/b.py", 9, "defined here"),),
+                )
+            ]
+        )
+        payload = json.loads(render_json(report))
+        assert payload["findings"][0]["chain"] == [
+            {"file": "src/repro/b.py", "line": 9, "note": "defined here"}
+        ]
 
     def test_text_report_lists_new_findings_and_summary(self):
         text = render_text(self._report())
@@ -156,6 +238,35 @@ class TestReporters:
         assert LintReport().exit_code == 0
         assert LintReport(new=[finding()]).exit_code == 1
         assert LintReport(parse_errors=["x.py: bad"]).exit_code == 1
+
+    def test_github_annotations(self):
+        report = LintReport(
+            new=[
+                Finding(
+                    "RPL010",
+                    "taints 100% of workers",
+                    "src/repro/a.py",
+                    4,
+                    chain=(("src/repro/b.py", 9, "lambda defined here"),),
+                )
+            ],
+            parse_errors=["broken.py: invalid syntax"],
+            files_scanned=2,
+        )
+        text = render_github(report)
+        assert (
+            "::error file=src/repro/a.py,line=4,col=1,"
+            "title=repro-lint RPL010::" in text
+        )
+        assert "[witness: src/repro/b.py:9 lambda defined here]" in text
+        assert "::warning title=repro-lint::broken.py: invalid syntax" in text
+
+    def test_github_annotation_escaping(self):
+        report = LintReport(
+            new=[Finding("RPL002", "50% of\nruns", "a.py", 1)]
+        )
+        text = render_github(report)
+        assert "50%25 of%0Aruns" in text
 
 
 class TestRunner:

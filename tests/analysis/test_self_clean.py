@@ -22,6 +22,20 @@ def test_src_repro_lints_clean_against_committed_baseline():
     assert report.new == [], "\n".join(str(f) for f in report.new)
 
 
+def test_tree_is_clean_under_the_flow_pass_too():
+    # Same contract as CI: syntactic + RPL01x flow rules over src and
+    # benchmarks, zero new findings.
+    baseline = Baseline.load(REPO_ROOT / "lint-baseline.json")
+    report = lint_paths(
+        [REPO_ROOT / "src", REPO_ROOT / "benchmarks"],
+        baseline=baseline,
+        flow=True,
+    )
+    assert report.flow
+    assert report.parse_errors == []
+    assert report.new == [], "\n".join(str(f) for f in report.new)
+
+
 def test_baseline_has_not_gone_stale():
     # Every baseline entry must still match a real finding: once a
     # grandfathered site is fixed, its entry comes out of the file so
