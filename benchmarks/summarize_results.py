@@ -151,6 +151,38 @@ def _rows_grounding_store(data: dict) -> list[list[str]]:
     return rows
 
 
+def _rows_incremental(data: dict) -> list[list[str]]:
+    program = data["program_lane"]
+    rows = [
+        [
+            "delta grounding (program edit)",
+            f"full re-ground vs refresh after a 1-tuple edit "
+            f"({program.get('rules', '?')} rules, "
+            f"{program['reused_shards']}/{program['num_shards']} shards spliced)",
+            _fmt_seconds(program["full_ground_seconds"]),
+            _fmt_seconds(program["delta_refresh_seconds"]),
+            _fmt_speedup(program["speedup"]),
+        ]
+    ]
+    edits = data.get("collective_lane", {}).get("edits", [])
+    if edits:
+        worst_full = max(e["full_ground_seconds"] for e in edits)
+        worst_patch = max(e["patch_seconds"] for e in edits)
+        rows.append(
+            [
+                "delta grounding (collective chain)",
+                f"fresh ground vs patch tier per target-tuple edit "
+                f"({len(edits)} edits, "
+                f"{edits[0]['reused_shards']}/{edits[0]['num_shards']} shards "
+                f"spliced, median over the chain)",
+                _fmt_seconds(worst_full),
+                _fmt_seconds(worst_patch),
+                _fmt_speedup(data["collective_lane"]["median_speedup"]),
+            ]
+        )
+    return rows
+
+
 #: filename -> row extractor.  Order fixes the table's row order.
 KNOWN_ARTIFACTS = {
     "sharded_grounding.json": _rows_sharded_grounding,
@@ -160,6 +192,7 @@ KNOWN_ARTIFACTS = {
     "persistent_pool.json": _rows_persistent_pool,
     "reweight.json": _rows_reweight,
     "grounding_store.json": _rows_grounding_store,
+    "incremental.json": _rows_incremental,
 }
 
 _HEADER = ["benchmark", "comparison", "baseline", "optimized", "speedup"]

@@ -8,6 +8,9 @@ Commands:
 * ``weight-sweep`` — objective-weight sweep on a fixed scenario (the
   ground-once/reweight-many path: one grounding per lane, every further
   cell reweights and re-solves);
+* ``chain``    — replay a tuple-edit mutation chain with incremental
+  (delta) grounding (docs/incremental.md): each revision patches the
+  previous one's compiled structure instead of re-grounding;
 * ``demo``     — the paper's running example with its appendix objective table;
 * ``store``    — inspect/maintain an on-disk grounding store
   (docs/grounding-store.md): ``ls`` the entries, ``gc`` stale ones,
@@ -96,6 +99,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "grounding of the same structure (mmap + reweight) instead of "
         "re-grounding, and spill fresh grounds for future runs",
     )
+    select.add_argument(
+        "--no-incremental",
+        action="store_true",
+        help="disable incremental (delta) grounding: always ground from "
+        "scratch instead of patching a cached parent revision's structure",
+    )
 
     sweep = sub.add_parser("sweep", help="quality-vs-noise sweep")
     sweep.add_argument(
@@ -157,6 +166,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "and many workers cold grids expose more parallelism)",
     )
     sweep.add_argument(
+        "--no-incremental",
+        action="store_true",
+        help="disable incremental (delta) grounding for collective cells",
+    )
+    sweep.add_argument(
         "--timing",
         action="store_true",
         help="also print the per-cell timing breakdown",
@@ -199,6 +213,28 @@ def _build_parser() -> argparse.ArgumentParser:
         "--timing",
         action="store_true",
         help="also print the per-cell timing breakdown",
+    )
+
+    chain = sub.add_parser(
+        "chain",
+        help="replay a mutation chain with incremental (delta) grounding: "
+        "generate a scenario, edit a few tuples per step, solve every "
+        "revision, report how much grounding each step reused",
+    )
+    chain.add_argument("--primitives", type=int, default=4)
+    chain.add_argument("--rows", type=int, default=12)
+    chain.add_argument("--seed", type=int, default=0)
+    chain.add_argument("--steps", type=int, default=6, help="mutations to replay")
+    chain.add_argument(
+        "--ground-shard-size",
+        type=int,
+        default=None,
+        help="entries per grounding shard (default: sharding module default)",
+    )
+    chain.add_argument(
+        "--no-incremental",
+        action="store_true",
+        help="replay the same chain with full re-grounds (for comparison)",
     )
 
     sub.add_parser("demo", help="the paper's running example")
@@ -306,7 +342,9 @@ def _cmd_select(args: argparse.Namespace) -> int:
         args.solve_block_size,
         args.grounding_store,
     )
-    if "collective" in methods and any(knob is not None for knob in knobs):
+    if "collective" in methods and (
+        any(knob is not None for knob in knobs) or args.no_incremental
+    ):
         methods["collective"] = partial(
             solve_collective,
             settings=CollectiveSettings(
@@ -316,6 +354,7 @@ def _cmd_select(args: argparse.Namespace) -> int:
                 ground_executor=args.ground_executor,
                 ground_shard_size=args.ground_shard_size,
                 grounding_store=args.grounding_store,
+                incremental=not args.no_incremental,
             ),
         )
     start = time.perf_counter()
@@ -347,6 +386,76 @@ def _cmd_select(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chain(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.ibench.mutations import (
+        AddTargetTuple,
+        RemoveTargetTuple,
+        mutation_chain,
+    )
+    from repro.selection.collective import (
+        CollectiveGroundingCache,
+        CollectiveSettings,
+        solve_collective,
+    )
+
+    config = ScenarioConfig(
+        num_primitives=args.primitives,
+        rows_per_relation=args.rows,
+        seed=args.seed,
+    )
+    scenario = generate_scenario(config)
+    # Edit late-sorting target tuples: remove one, re-add it, repeat over
+    # a small pool.  Late in j-fact order keeps most shard slices
+    # positionally stable, which is where the patch reuse comes from.
+    j_facts = sorted(scenario.target, key=repr)
+    pool = j_facts[-max(2, min(4, len(j_facts))):]
+    mutations = []
+    for step in range(args.steps):
+        f = pool[(step // 2) % len(pool)]
+        mutations.append(
+            RemoveTargetTuple(f) if step % 2 == 0 else AddTargetTuple(f)
+        )
+    settings = CollectiveSettings(
+        ground_shard_size=args.ground_shard_size,
+        incremental=not args.no_incremental,
+    )
+    cache = CollectiveGroundingCache()
+    rows = []
+    for mutation, problem in mutation_chain(
+        scenario.source, scenario.target, scenario.candidates, mutations
+    ):
+        start = time.perf_counter()
+        grounded = cache.grounded(problem, settings)
+        ground_seconds = time.perf_counter() - start
+        result = solve_collective(problem, settings, grounded=grounded)
+        stats = grounded.splice_stats
+        rows.append(
+            [
+                "base" if mutation is None else type(mutation).__name__,
+                "-" if stats is None else f"{stats.reused_shards}/{stats.num_shards}",
+                "-" if stats is None else round(stats.reuse_fraction, 3),
+                round(ground_seconds, 4),
+                float(result.objective),
+            ]
+        )
+    print(scenario.summary())
+    print(
+        format_table(
+            ["edit", "shards reused", "term reuse", "ground s", "objective"],
+            rows,
+            title=(
+                "mutation chain "
+                f"(incremental={'off' if args.no_incremental else 'on'}, "
+                f"patched {cache.patch_hits}/{cache.misses} misses)"
+            ),
+        )
+    )
+    cache.clear()
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     base = ScenarioConfig(num_primitives=args.primitives, rows_per_relation=args.rows)
     engine = EvaluationEngine(
@@ -359,6 +468,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         solve_executor=args.solve_executor,
         solve_block_size=args.solve_block_size,
         grounding_store=args.grounding_store,
+        incremental=not args.no_incremental,
     )
     sweep = engine.sweep(base, args.noise, args.levels, args.seeds)
     columns = [*DEFAULT_GRID_METHODS, "gold"]
@@ -582,6 +692,7 @@ _COMMANDS = {
     "select": _cmd_select,
     "sweep": _cmd_sweep,
     "weight-sweep": _cmd_weight_sweep,
+    "chain": _cmd_chain,
     "demo": _cmd_demo,
     "store": _cmd_store,
     "lint": _cmd_lint,

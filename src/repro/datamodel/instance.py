@@ -75,23 +75,28 @@ class Instance:
     """
 
     def __init__(self, facts: Iterable[Fact] = ()):
-        self._by_relation: dict[str, set[Fact]] = {}
+        # dict-as-ordered-set buckets so ``__iter__`` yields facts in
+        # insertion order — set buckets leak the per-process hash seed
+        # into anything enumerating an instance (e.g. the scenario
+        # generator's skolem-constant assignment), making "deterministic"
+        # generation differ across processes (RPL002-class bug).
+        self._by_relation: dict[str, dict[Fact, None]] = {}
         for f in facts:
             self.add(f)
 
     def add(self, f: Fact) -> bool:
         """Add *f*; return True if it was not already present."""
-        bucket = self._by_relation.setdefault(f.relation, set())
+        bucket = self._by_relation.setdefault(f.relation, {})
         if f in bucket:
             return False
-        bucket.add(f)
+        bucket[f] = None
         return True
 
     def discard(self, f: Fact) -> bool:
         """Remove *f* if present; return True if it was removed."""
         bucket = self._by_relation.get(f.relation)
         if bucket and f in bucket:
-            bucket.remove(f)
+            del bucket[f]
             if not bucket:
                 del self._by_relation[f.relation]
             return True

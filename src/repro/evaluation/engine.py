@@ -111,7 +111,9 @@ class GridCell:
 #: Bump when the on-disk scenario/problem formats (or the generation /
 #: chasing semantics behind them) change: the version is folded into the
 #: cache key, so entries from older formats are simply never matched.
-CACHE_FORMAT_VERSION = 1
+#: v2: :class:`~repro.selection.metrics.SelectionProblem` pickles carry
+#: the ``lineage`` revision field consumed by incremental grounding.
+CACHE_FORMAT_VERSION = 2
 
 
 def config_hash(config: ScenarioConfig) -> str:
@@ -515,6 +517,13 @@ class EvaluationEngine:
             (``cache_dir`` or a *cache* with one), so grid lanes and
             persistent-pool workers share one on-disk grounding per
             structure; ``None`` with no disk cache → off.
+        incremental: incremental (delta) grounding for the collective
+            method — on a cache miss for a problem carrying a
+            :class:`~repro.selection.metrics.ProblemLineage`, patch the
+            cached parent revision's compiled structure (re-ground only
+            the shards the edit touched) instead of grounding from
+            scratch.  ``True`` by default; ``False`` forces full
+            re-grounds.
     """
 
     def __init__(
@@ -530,6 +539,7 @@ class EvaluationEngine:
         solve_executor: MapExecutor | str | None = None,
         solve_block_size: int | None = None,
         grounding_store: str | Path | None = None,
+        incremental: bool = True,
     ):
         self.methods = tuple(methods if methods is not None else DEFAULT_GRID_METHODS)
         self.executor = resolve_executor(executor)
@@ -542,14 +552,20 @@ class EvaluationEngine:
         self.grounding_store = (
             str(grounding_store) if grounding_store is not None else None
         )
+        self.incremental = bool(incremental)
         self.collective_settings: CollectiveSettings | None = None
         knobs = (ground_executor, ground_shard_size, solve_executor, solve_block_size)
-        if any(knob is not None for knob in knobs) or self.grounding_store is not None:
+        if (
+            any(knob is not None for knob in knobs)
+            or self.grounding_store is not None
+            or not self.incremental
+        ):
             self.collective_settings = CollectiveSettings(
                 admm=AdmmSettings(executor=solve_executor, block_size=solve_block_size),
                 ground_executor=ground_executor,
                 ground_shard_size=ground_shard_size,
                 grounding_store=self.grounding_store,
+                incremental=self.incremental,
             )
 
     def run_grid(self, configs: Sequence[ScenarioConfig]) -> GridResult:

@@ -137,6 +137,17 @@ class RuleGroundingShard:
     weight: float | None
     database: Database | None = None
 
+    def content_key(self):
+        """Spec identity for incremental grounding (rule + weight).
+
+        Deliberately excludes the database: a rule shard's *output* also
+        depends on the grounding data, so key-equal rule shards are
+        reusable only under a data-level gate — exactly what
+        :class:`repro.psl.delta.IncrementalProgramGrounding` establishes
+        through the database change journal before pairing shards.
+        """
+        return ("rule-shard", self.rule, self.weight)
+
     def build(self) -> ShardResult:
         database = self.database if self.database is not None else _shared_database()
         if database is None:
@@ -339,6 +350,7 @@ class PslProgram:
         weight_overrides: Mapping[Rule, float] | None = None,
         executor: MapExecutor | str | None = None,
         shard_size: int | None = None,
+        observer=None,
     ) -> tuple[HingeLossMRF, GroundingStats]:
         """Ground through executor-mapped shards; also returns merge stats.
 
@@ -359,7 +371,7 @@ class PslProgram:
             weight_overrides, shard_size, embed_database=not strip_database
         )
         if not strip_database:
-            return ground_shards(shards, executor=executor, mrf=mrf)
+            return ground_shards(shards, executor=executor, mrf=mrf, observer=observer)
         # The scope covers the executor's serial fallback, which runs
         # stripped shards in this process.  Workers get the handle through
         # the pool initializer; on a persistent executor they (and their
@@ -373,6 +385,7 @@ class PslProgram:
                 executor=executor,
                 mrf=mrf,
                 initializer=(install_shared_database, (self.database,)),
+                observer=observer,
             )
 
     def ground_with_origins(

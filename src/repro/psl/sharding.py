@@ -282,6 +282,7 @@ def ground_shards(
     executor: MapExecutor | str | None = None,
     mrf: HingeLossMRF | None = None,
     initializer: "tuple[Callable[..., None], tuple]" | None = None,
+    observer: "Callable[[ShardResult], None]" | None = None,
 ) -> tuple[HingeLossMRF, GroundingStats]:
     """Execute *shards* through *executor* and merge them deterministically.
 
@@ -309,6 +310,12 @@ def ground_shards(
     :class:`~repro.executors.ThreadExecutor`, whose pool threads would
     not see a thread-scoped payload installed here — embed the data in
     the shards instead (in-process, that costs nothing).
+
+    *observer* (when given) is called with each :class:`ShardResult`
+    right after it merges — the hook incremental grounding
+    (:mod:`repro.psl.delta`) uses to capture per-shard records (atom
+    tables, observed groups, folded constants) without a second pass.
+    Results stream, so the observer must not retain more than it needs.
     """
     executor = resolve_executor(executor)
     mrf = mrf if mrf is not None else HingeLossMRF()
@@ -325,6 +332,8 @@ def ground_shards(
             before = (len(mrf.potentials), len(mrf.constraints))
             mrf.add_term_block(result.atoms, result.block)
             stats.observe(result, mrf, before)
+            if observer is not None:
+                observer(result)
         return mrf, stats
 
     if initializer is None:

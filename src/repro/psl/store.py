@@ -45,6 +45,7 @@ coordinate with readers.  See ``docs/grounding-store.md``.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import json
 import os
@@ -252,7 +253,23 @@ class GroundingStore:
         entry = self.entry_dir(key)
         if (entry / _MANIFEST).exists():
             return False
-        flat = compile_term_arrays(mrf)
+        flat = getattr(mrf, "_compiled", None)
+        if (
+            flat is not None
+            and flat.num_potentials == len(mrf.potentials)
+            and flat.num_terms == len(mrf.potentials) + len(mrf.constraints)
+        ):
+            # Fast path for pre-compiled MRFs (a splice or a ground-time
+            # seed): reuse the flat arrays instead of re-walking the term
+            # lists.  The weight column is re-copied from the live
+            # vector — in-place reweights mutate it without refreshing
+            # the compiled snapshot — so the spill never persists stale
+            # weights.
+            weight = np.array(flat.weight, dtype=np.float64, copy=True)
+            weight[: flat.num_potentials] = mrf._pot_weights
+            flat = dataclasses.replace(flat, weight=weight)
+        else:
+            flat = compile_term_arrays(mrf)
         arrays = {
             "kind": flat.kind,
             "offset": flat.offset,

@@ -59,7 +59,16 @@ from repro.errors import InferenceError
 from repro.datamodel.instance import Fact
 from repro.executors import MapExecutor
 from repro.psl.admm import AdmmSettings, AdmmSolver, AdmmWarmState
+from repro.psl.delta import (
+    ShardRecord,
+    SpliceStats,
+    match_shards,
+    record_for,
+    shard_key,
+    splice_grounding,
+)
 from repro.psl.hlmrf import KIND_EQ, KIND_HINGE, KIND_SQUARED, HingeLossMRF
+from repro.psl.partition import compile_term_arrays
 from repro.psl.predicate import GroundAtom, Predicate
 from repro.psl.program import PslProgram
 from repro.psl.rounding import round_solution
@@ -135,6 +144,15 @@ class CollectiveSettings:
     #: for the next process lifetime.  A plain string so settings stay
     #: picklable inside engine work units.
     grounding_store: str | None = None
+    #: Incremental (delta) grounding: when a problem carries a
+    #: :class:`~repro.selection.metrics.ProblemLineage` naming a parent
+    #: revision whose artifact is cached, a cache miss first tries to
+    #: *patch* the parent's compiled structure — re-ground only the
+    #: shards the edit touched, splice the rest
+    #: (:func:`patch_collective`) — before the disk-attach and
+    #: fresh-ground tiers.  Patched artifacts are bit-identical to a
+    #: fresh ground; set False to force the old full-re-ground behaviour.
+    incremental: bool = True
 
 
 @dataclass(frozen=True)
@@ -188,6 +206,16 @@ class CoverageShard:
         atoms, block = builder.finish()
         return ShardResult(self.order, atoms, block)
 
+    def content_key(self) -> tuple:
+        """Order- and weight-magnitude-independent identity for splicing.
+
+        Weight *magnitude* is excluded — a patched artifact has its
+        group weights rewritten at splice time — but the zero flag is
+        structural (zero-weight potentials are dropped at grounding), so
+        it stays in the key.
+        """
+        return ("cov", self.entries, self.squared, self.weight == 0)
+
 
 @dataclass(frozen=True)
 class ErrorShard:
@@ -217,6 +245,10 @@ class ErrorShard:
         atoms, block = builder.finish()
         return ShardResult(self.order, atoms, block)
 
+    def content_key(self) -> tuple:
+        """See :meth:`CoverageShard.content_key` — same weight treatment."""
+        return ("err", self.entries, self.squared, self.weight == 0)
+
 
 @dataclass(frozen=True)
 class PriorShard:
@@ -242,6 +274,13 @@ class PriorShard:
             )
         atoms, block = builder.finish()
         return ShardResult(self.order, atoms, block)
+
+    def content_key(self) -> tuple:
+        """Identity by candidate set only: per-candidate penalty
+        *magnitudes* are rewritten at splice time through the
+        ``member_weights`` channel (they are plain weight changes), but
+        which candidates appear is structural."""
+        return ("prior", tuple(i for i, _ in self.entries), self.squared)
 
 
 # -- shard planning -----------------------------------------------------------
@@ -382,12 +421,18 @@ def ground_collective(
     settings: CollectiveSettings | None = None,
     executor: MapExecutor | str | None = None,
     shard_size: int | None = None,
+    records_out: list[ShardRecord] | None = None,
 ) -> tuple[HingeLossMRF, CollectivePlan, GroundingStats]:
     """Ground *problem*'s HL-MRF through executor-mapped shards.
 
     *executor*/*shard_size* default to the settings' values.  The result
     is fingerprint-identical to the serial ``build_program(...)[0]
     .ground()`` path for any executor and any shard size.
+
+    When *records_out* is a list, one :class:`~repro.psl.delta.
+    ShardRecord` per shard is appended in merge (spec) order — the
+    per-shard index incremental patching needs to splice unchanged
+    shards out of this MRF later.
     """
     settings = settings or CollectiveSettings()
     if executor is None:
@@ -398,7 +443,12 @@ def ground_collective(
     mrf = HingeLossMRF()
     for atom in plan.targets:
         mrf.variable_index(atom)
-    mrf, stats = ground_shards(plan.shards, executor=executor, mrf=mrf)
+    observer = None
+    if records_out is not None:
+        observer = lambda result: records_out.append(
+            record_for(plan.shards[result.order], result)
+        )
+    mrf, stats = ground_shards(plan.shards, executor=executor, mrf=mrf, observer=observer)
     return mrf, plan, stats
 
 
@@ -550,9 +600,22 @@ class GroundedCollective:
         settings = settings or CollectiveSettings()
         self.problem = problem
         self.squared = bool(settings.squared_hinges)
+        records: list[ShardRecord] = []
         self.mrf, self.plan, self.stats = ground_collective(
-            problem, settings, executor=executor, shard_size=shard_size
+            problem, settings, executor=executor, shard_size=shard_size,
+            records_out=records,
         )
+        #: Per-shard splice index (same order as ``plan.shards``), the
+        #: input :func:`patch_collective` matches a successor problem's
+        #: plan against.  ``None`` on attached artifacts until
+        #: :meth:`_ensure_records` reconstructs it.
+        self.records: tuple[ShardRecord, ...] | None = tuple(records)
+        self.splice_stats: SpliceStats | None = None
+        # Pre-compile the flat arrays while the ground is hot: the ADMM
+        # partition wants them anyway, and a later patch slices straight
+        # from them instead of recompiling the whole artifact first.
+        if getattr(self.mrf, "_compiled", None) is None:
+            self.mrf._compiled = compile_term_arrays(self.mrf)
         self.weights = settings.weights
         self._admm = settings.admm
         self._solver: AdmmSolver | None = None
@@ -625,6 +688,8 @@ class GroundedCollective:
             prior_included=prior_included,
         )
         self.stats = None
+        self.records = None
+        self.splice_stats = None
         self.weights = grounding_weights
         self._admm = settings.admm
         self._solver = None
@@ -643,6 +708,57 @@ class GroundedCollective:
             "prior_components": self.plan.prior_components,
             "prior_included": self.plan.prior_included,
         }
+
+    def _ensure_records(self, shard_size: int | None) -> bool:
+        """Make :attr:`records` available, reconstructing if attached.
+
+        Freshly ground artifacts record their splice index at ground
+        time; a disk-attached artifact has an MRF (with its per-shard
+        ``_block_extents``) but no shard list.  Re-planning the problem
+        at the *grounding-time* weights recovers the shard specs; each
+        spec's expected potential/constraint counts are checked against
+        the recorded extent, so a plan that drifted from the stored
+        structure is detected and the patch declined (return ``False``
+        → caller falls back) rather than splicing the wrong ranges.
+        ``atoms`` is ``None`` on reconstructed records: every collective
+        shard atom is a plan target, pre-interned before any merge.
+        """
+        if self.records is not None:
+            return True
+        mrf = self.mrf
+        extents = getattr(mrf, "_block_extents", None)
+        if not extents or mrf.constant_energy != 0.0:
+            return False
+        plan = plan_collective_grounding(
+            self.problem,
+            CollectiveSettings(weights=self.weights, squared_hinges=self.squared),
+            shard_size,
+        )
+        if len(plan.shards) != len(extents):
+            return False
+        records: list[ShardRecord] = []
+        for shard, (pot_lo, pot_hi, con_lo, con_hi) in zip(plan.shards, extents):
+            if isinstance(shard, CoverageShard):
+                expected_pot = 0 if shard.weight == 0 else len(shard.entries)
+                expected_con = len(shard.entries)
+                groups = ((GROUP_EXPLAINS, shard.weight == 0),)
+            elif isinstance(shard, ErrorShard):
+                expected_pot = 0 if shard.weight == 0 else len(shard.entries)
+                expected_con = sum(len(owners) for _, owners in shard.entries)
+                groups = ((GROUP_ERRORS, shard.weight == 0),)
+            elif isinstance(shard, PriorShard):
+                expected_pot = len(shard.entries)
+                expected_con = 0
+                groups = ((GROUP_PRIOR, False),)
+            else:  # pragma: no cover - planner emits only the three kinds
+                return False
+            if pot_hi - pot_lo != expected_pot or con_hi - con_lo != expected_con:
+                return False
+            records.append(
+                ShardRecord(key=shard_key(shard), atoms=None, observed_groups=groups)
+            )
+        self.records = tuple(records)
+        return True
 
     @property
     def solver(self) -> AdmmSolver:
@@ -708,17 +824,97 @@ class GroundedCollective:
             solver.close()
 
 
+def patch_collective(
+    cached: GroundedCollective,
+    problem: SelectionProblem,
+    settings: CollectiveSettings | None = None,
+    executor: MapExecutor | str | None = None,
+    shard_size: int | None = None,
+) -> GroundedCollective | None:
+    """Patch *cached* (a parent revision's artifact) into *problem*'s.
+
+    The incremental tier of the collective path: plan the new problem,
+    pair its shards against the cached per-shard records by content key
+    (:func:`~repro.psl.delta.match_shards` — weight magnitudes are
+    normalized out of the keys, so a reweighted parent still matches),
+    re-ground only the unmatched shards, and splice.  The weight rewrite
+    happens inside the splice — coverage/error groups uniformly, prior
+    penalties per member — so the result lands directly at
+    ``settings.weights`` and is **bit-identical** to a fresh ground of
+    ``(problem, settings)``.
+
+    Returns ``None`` when patching is not exact — hinge form changed,
+    records unavailable, a zero pattern moved, the splice declined — in
+    which case the caller grounds fresh.  Never returns a wrong
+    artifact.
+    """
+    settings = settings or CollectiveSettings()
+    if executor is None:
+        executor = settings.ground_executor
+    if shard_size is None:
+        shard_size = settings.ground_shard_size
+    if bool(settings.squared_hinges) != cached.squared:
+        return None
+    if not cached._ensure_records(shard_size):
+        return None
+    plan = plan_collective_grounding(problem, settings, shard_size)
+    reuse = match_shards(cached.records, plan.shards)
+    prior_penalties = [
+        penalty
+        for shard in plan.shards
+        if isinstance(shard, PriorShard)
+        for _, penalty in shard.entries
+    ]
+    weights = settings.weights
+    result = splice_grounding(
+        cached.mrf,
+        cached.records,
+        plan.shards,
+        reuse,
+        plan.targets,
+        executor,
+        group_weights={
+            GROUP_EXPLAINS: float(weights.explains),
+            GROUP_ERRORS: float(weights.errors),
+        },
+        member_weights={GROUP_PRIOR: prior_penalties},
+    )
+    if result is None:
+        return None
+    patched = GroundedCollective.__new__(GroundedCollective)
+    patched.problem = problem
+    patched.squared = cached.squared
+    patched.mrf = result.mrf
+    patched.plan = plan
+    patched.stats = None
+    patched.records = result.records
+    patched.splice_stats = result.stats
+    patched.weights = weights
+    patched._admm = settings.admm
+    patched._solver = None
+    return patched
+
+
 class CollectiveGroundingCache:
     """A small per-process LRU of :class:`GroundedCollective` artifacts.
 
     Keyed by problem identity plus the structure-affecting settings
     (squared hinges, grounding shard size) — *not* by weights: a hit
     whose weights differ only reweights the cached artifact in place.
-    When ``settings.grounding_store`` names a disk store, an in-memory
-    miss falls through to a *disk tier* first (see
-    :meth:`_attach_or_ground`): attach a spilled grounding of the same
-    content-addressed structure instead of re-grounding, and spill fresh
-    grounds for future process lifetimes.
+    An in-memory miss falls through two tiers before grounding fresh,
+    in order **patch > disk attach > fresh ground**:
+
+    1. *Patch* (``settings.incremental``): when the problem carries a
+       :class:`~repro.selection.metrics.ProblemLineage` whose parent
+       revision is cached (tracked by lineage token), the parent's
+       compiled structure is spliced into the new problem's — only the
+       shards the edit touched re-ground (:func:`patch_collective`).
+       Patched artifacts are also spilled to the disk store under the
+       *new* structure key, so future process lifetimes attach them.
+    2. *Disk attach* (``settings.grounding_store``): mmap a spilled
+       grounding of the same content-addressed structure and reweight
+       (see :meth:`_attach_or_ground`); fresh grounds are spilled for
+       future process lifetimes.
     Entries whose zero pattern no longer matches are evicted and
     re-ground.  The thread id is part of the key so concurrent solves
     from different threads never share (and mid-solve reweight) one
@@ -738,6 +934,12 @@ class CollectiveGroundingCache:
     def __init__(self, capacity: int = 4):
         self.capacity = capacity
         self._entries: OrderedDict[tuple, GroundedCollective] = OrderedDict()
+        #: Lineage token -> cache key, per thread: the index the patch
+        #: tier uses to find a *parent revision's* entry from a child
+        #: problem's ``lineage.parent`` token.  Bounded FIFO; a stale
+        #: mapping (entry evicted or replaced) is re-validated against
+        #: the entry's own lineage before patching.
+        self._token_keys: OrderedDict[tuple, tuple] = OrderedDict()
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
@@ -747,6 +949,20 @@ class CollectiveGroundingCache:
         #: spilled for the next process lifetime.
         self.disk_hits = 0
         self.disk_misses = 0
+        #: In-memory misses served by the patch tier: the parent
+        #: revision's artifact was spliced instead of re-grounding.
+        self.patch_hits = 0
+
+    #: Lineage-token index bound (entries are 2-tuples; tiny).
+    TOKEN_KEY_LIMIT = 256
+
+    def _remember_token(self, me: int, token: object, key: tuple) -> None:
+        # Caller holds the lock.  Most-recent mapping wins.
+        tk = (me, token)
+        self._token_keys.pop(tk, None)
+        self._token_keys[tk] = key
+        while len(self._token_keys) > self.TOKEN_KEY_LIMIT:
+            self._token_keys.popitem(last=False)
 
     def grounded(
         self,
@@ -763,6 +979,7 @@ class CollectiveGroundingCache:
             shard_size = settings.ground_shard_size
         me = threading.get_ident()
         key = (me, id(problem), bool(settings.squared_hinges), shard_size)
+        lineage = getattr(problem, "lineage", None)
         stale = None
         with self._lock:
             entry = self._entries.get(key)
@@ -773,6 +990,8 @@ class CollectiveGroundingCache:
             ):
                 self._entries.move_to_end(key)
                 self.hits += 1
+                if lineage is not None:
+                    self._remember_token(me, lineage.token, key)
             else:
                 if entry is not None:
                     stale = self._entries.pop(key)
@@ -784,11 +1003,18 @@ class CollectiveGroundingCache:
             # thread id is in its key), so no other thread can touch it.
             entry.reweight(settings.weights)
             return entry
-        fresh = self._attach_or_ground(problem, settings, executor, shard_size)
+        fresh = self._try_patch(problem, settings, executor, shard_size, me, lineage)
+        patched = fresh is not None
+        if fresh is None:
+            fresh = self._attach_or_ground(problem, settings, executor, shard_size)
         evicted: list[tuple[tuple, GroundedCollective]] = []
         with self._lock:
             self.misses += 1
+            if patched:
+                self.patch_hits += 1
             self._entries[key] = fresh
+            if lineage is not None:
+                self._remember_token(me, lineage.token, key)
             while len(self._entries) > self.capacity:
                 evicted.append(self._entries.popitem(last=False))
         for evicted_key, evicted_entry in evicted:
@@ -796,6 +1022,50 @@ class CollectiveGroundingCache:
                 evicted_entry.close()
             # Foreign-thread entries: leave release to GC (see class doc).
         return fresh
+
+    def _try_patch(
+        self,
+        problem: SelectionProblem,
+        settings: CollectiveSettings,
+        executor: MapExecutor | str | None,
+        shard_size: int | None,
+        me: int,
+        lineage,
+    ) -> GroundedCollective | None:
+        """The patch tier: splice a cached parent revision, or ``None``.
+
+        Runs before the disk tier on every in-memory miss.  Applies only
+        when incremental grounding is on and the problem's lineage names
+        a parent whose artifact this thread still holds (looked up by
+        lineage token, re-validated against the entry's own lineage so a
+        stale token mapping can never patch from the wrong problem).
+        On success the patched artifact is also spilled to the disk
+        store under the **new** structure key — the next process
+        lifetime attaches the patched structure directly.
+        """
+        if not settings.incremental or lineage is None or lineage.parent is None:
+            return None
+        with self._lock:
+            parent_key = self._token_keys.get((me, lineage.parent))
+            parent = (
+                self._entries.get(parent_key) if parent_key is not None else None
+            )
+        if parent is None or parent_key[3] != shard_size:
+            return None
+        parent_lineage = getattr(parent.problem, "lineage", None)
+        if parent_lineage is None or parent_lineage.token != lineage.parent:
+            return None
+        patched = patch_collective(
+            parent, problem, settings, executor=executor, shard_size=shard_size
+        )
+        if patched is not None and settings.grounding_store:
+            store = GroundingStore(settings.grounding_store)
+            store.put(
+                collective_structure_key(problem, settings),
+                patched.mrf,
+                extra=patched.store_extra(),
+            )
+        return patched
 
     def _attach_or_ground(
         self,
@@ -855,8 +1125,10 @@ class CollectiveGroundingCache:
         with self._lock:
             entries = list(self._entries.values())
             self._entries.clear()
+            self._token_keys.clear()
             self.hits = self.misses = 0
             self.disk_hits = self.disk_misses = 0
+            self.patch_hits = 0
         for entry in entries:
             entry.close()
 

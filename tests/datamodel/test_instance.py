@@ -102,3 +102,45 @@ def test_data_example_holds_both_sides():
     ex = DataExample(Instance([fact("r", 1)]), Instance([fact("t", 2)]))
     assert fact("r", 1) in ex.source
     assert fact("t", 2) in ex.target
+
+
+def test_iteration_is_insertion_ordered():
+    # Hash-order iteration here leaked the per-process hash seed into
+    # the scenario generator's skolem-constant numbering, making
+    # "deterministic" generation differ across processes.
+    facts = [fact("r", f"a{i}") for i in range(20)] + [fact("s", i) for i in range(5)]
+    inst = Instance(facts)
+    assert list(inst) == facts
+    # Discard-then-re-add moves a fact to the back of its bucket —
+    # iteration tracks current insertion order, not history.
+    inst.discard(facts[0])
+    inst.add(facts[0])
+    assert list(inst) == facts[1:20] + [facts[0]] + facts[20:]
+
+
+def test_scenario_generation_is_hash_seed_independent():
+    # End to end: same config, same bytes, whatever the hash seed.
+    import os
+    import subprocess
+    import sys
+
+    script = (
+        "from repro.ibench.config import ScenarioConfig\n"
+        "from repro.ibench.generator import generate_scenario\n"
+        "s = generate_scenario(ScenarioConfig(num_primitives=3, rows_per_relation=6, seed=11))\n"
+        "print(sorted(repr(f) for f in s.target))\n"
+        "print(sorted(repr(f) for f in s.source))\n"
+    )
+    outputs = set()
+    for seed in ("1", "2"):
+        env = dict(os.environ, PYTHONHASHSEED=seed)
+        outputs.add(
+            subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                check=True,
+                env=env,
+            ).stdout
+        )
+    assert len(outputs) == 1
